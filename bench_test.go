@@ -1,0 +1,207 @@
+// Benchmarks regenerating every table and figure of the CDStore paper's
+// evaluation (§5). Each benchmark wraps the corresponding driver in
+// internal/bench and reports the paper's metric (MB/s, % saving) via
+// b.ReportMetric, so `go test -bench=. -benchmem` reproduces the whole
+// evaluation. cmd/cdbench renders the same experiments as tables.
+package cdstore
+
+import (
+	"fmt"
+	"testing"
+
+	"cdstore/internal/bench"
+	"cdstore/internal/workload"
+)
+
+// BenchmarkTable1 measures Split throughput for every Table 1 algorithm
+// (plus the convergent schemes) at (n,k)=(4,3) on 8KB secrets, reporting
+// each scheme's storage blowup.
+func BenchmarkTable1(b *testing.B) {
+	rows, err := bench.Table1(4, 3, 8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	secret := workload.UniqueData(1, 8192)
+	schemes := []Scheme{}
+	{
+		s1, _ := NewSSSS(4, 3)
+		s2, _ := NewIDA(4, 3)
+		s3, _ := NewRSSS(4, 3, 1)
+		s4, _ := NewSSMS(4, 3)
+		s5, _ := NewAONTRS(4, 3)
+		s6, _ := NewCAONTRS(4, 3)
+		s7, _ := NewCAONTRSRivest(4, 3)
+		schemes = append(schemes, s1, s2, s3, s4, s5, s6, s7)
+	}
+	for i, s := range schemes {
+		s := s
+		blowup := rows[i].MeasuredBlowup
+		b.Run(s.Name(), func(b *testing.B) {
+			b.SetBytes(8192)
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Split(secret); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(blowup, "blowup")
+		})
+	}
+}
+
+// BenchmarkTable2 measures the shaped per-cloud paths (Table 2),
+// reporting mean upload/download MB/s per cloud.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.CloudSpeeds(8, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.UpMean, r.Cloud+"-up-MB/s")
+				b.ReportMetric(r.DownMean, r.Cloud+"-down-MB/s")
+			}
+		}
+	}
+}
+
+// BenchmarkFig5a measures encoding speed versus thread count for the
+// three schemes of Figure 5(a).
+func BenchmarkFig5a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.EncodingSpeedVsThreads(32, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.MBps, fmt.Sprintf("%s-t%d-MB/s", r.Scheme, r.Threads))
+			}
+		}
+	}
+}
+
+// BenchmarkFig5b measures encoding speed versus n (Figure 5(b)).
+func BenchmarkFig5b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.EncodingSpeedVsN(16, 2, []int{4, 8, 12, 16, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Scheme == "CAONT-RS" {
+					b.ReportMetric(r.MBps, fmt.Sprintf("n%d-MB/s", r.N))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig6 replays the FSL-like and VM-like traces through
+// two-stage deduplication (Figure 6), reporting final savings.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.DedupEfficiency(
+			workload.FSLConfig{Users: 9, Weeks: 8, ChunksPerUser: 1200, Seed: 1},
+			workload.VMConfig{Users: 40, Weeks: 8, ChunksPerImage: 800, Seed: 2},
+			4, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			last := map[string]bench.Fig6Row{}
+			for _, r := range rows {
+				last[r.Dataset] = r
+			}
+			for name, r := range last {
+				b.ReportMetric(100*r.IntraSaving, name+"-intra-%")
+				b.ReportMetric(100*r.InterSaving, name+"-inter-%")
+				b.ReportMetric(float64(r.CumPhysicalShares)/float64(r.CumLogicalData), name+"-phys/logical")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7a runs the single-client baseline transfers on the shaped
+// LAN testbed (Figure 7(a)).
+func BenchmarkFig7a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.BaselineTransfer(bench.TestbedLAN, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.UploadUniqueMBps, "up-uniq-MB/s")
+			b.ReportMetric(res.UploadDupMBps, "up-dup-MB/s")
+			b.ReportMetric(res.DownloadMBps, "down-MB/s")
+		}
+	}
+}
+
+// BenchmarkFig7b runs the trace-driven transfers (Figure 7(b)) on the
+// shaped LAN testbed.
+func BenchmarkFig7b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.TraceDrivenTransfer(bench.TestbedLAN, 3, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.UploadFirstMBps, "up-first-MB/s")
+			b.ReportMetric(res.UploadSubsqMBps, "up-subsqt-MB/s")
+			b.ReportMetric(res.DownloadMBps, "down-MB/s")
+		}
+	}
+}
+
+// BenchmarkFig8 measures aggregate multi-client upload speeds (Figure 8).
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AggregateUpload([]int{1, 2, 4}, 8, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.UniqueAggMBps, fmt.Sprintf("c%d-uniq-MB/s", r.Clients))
+				b.ReportMetric(r.DupAggMBps, fmt.Sprintf("c%d-dup-MB/s", r.Clients))
+			}
+		}
+	}
+}
+
+// BenchmarkFig9a sweeps the cost model over weekly backup sizes
+// (Figure 9(a)).
+func BenchmarkFig9a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.CostVsWeeklySize(nil, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.WeeklyTB == 16 {
+					b.ReportMetric(100*r.SavingVsAONTRS, "16TB-saving-%")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig9b sweeps the cost model over dedup ratios (Figure 9(b)).
+func BenchmarkFig9b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.CostVsDedupRatio(nil, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.DedupRatio == 10 || r.DedupRatio == 50 {
+					b.ReportMetric(100*r.SavingVsAONTRS, fmt.Sprintf("r%.0f-saving-%%", r.DedupRatio))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Command cdbench regenerates every table and figure of the CDStore
+// paper's evaluation (§5) against the simulated testbeds.
+//
+// Usage:
+//
+//	cdbench [-quick] <experiment>
+//
+// where <experiment> is one of:
+//
+//	table1 table2 fig5a fig5b fig6 fig7a fig7b fig8 fig9a fig9b all
+//
+// -quick shrinks data volumes for a fast smoke run; the default sizes
+// take a few minutes in total (the shaped WAN runs are real-time).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cdstore/internal/bench"
+	"cdstore/internal/workload"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink data volumes for a fast run")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cdbench [-quick] <table1|table2|fig5a|fig5b|fig6|fig7a|fig7b|fig8|fig9a|fig9b|all>")
+		os.Exit(2)
+	}
+	exp := flag.Arg(0)
+	run := func(name string, fn func() error) {
+		if exp != name && exp != "all" {
+			return
+		}
+		fmt.Printf("==================== %s ====================\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	scale := func(full, quickVal int) int {
+		if *quick {
+			return quickVal
+		}
+		return full
+	}
+
+	run("table1", func() error { return table1() })
+	run("table2", func() error { return table2(scale(24, 8), scale(3, 2)) })
+	run("fig5a", func() error { return fig5a(scale(128, 16)) })
+	run("fig5b", func() error { return fig5b(scale(64, 12)) })
+	run("fig6", func() error { return fig6(*quick) })
+	run("fig7a", func() error { return fig7a(scale(96, 8), scale(24, 8)) })
+	run("fig7b", func() error { return fig7b(*quick) })
+	run("fig8", func() error { return fig8(scale(32, 8)) })
+	run("fig9a", func() error { return fig9a() })
+	run("fig9b", func() error { return fig9b() })
+	run("ablation", func() error { return ablation(*quick) })
+
+	switch exp {
+	case "table1", "table2", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "ablation", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
+		os.Exit(2)
+	}
+}
+
+func ablation(quick bool) error {
+	fsl := workload.FSLConfig{Seed: 1}
+	vm := workload.VMConfig{Seed: 2}
+	if quick {
+		fsl.Users, fsl.Weeks, fsl.ChunksPerUser = 9, 8, 800
+		vm.Users, vm.Weeks, vm.ChunksPerImage = 40, 8, 600
+	}
+	rows, err := bench.DedupAblation(fsl, vm, 4, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation: two-stage dedup (side-channel free) vs client-global dedup (leaky)")
+	fmt.Printf("%-8s %-18s %-18s %-14s %-14s\n", "Dataset", "TwoStage(MB)", "Global(MB)", "Extra%", "Stored(MB)")
+	for _, r := range rows {
+		fmt.Printf("%-8s %-18.1f %-18.1f %-14.1f %-14.1f\n",
+			r.Dataset, r.TransferredTwoStageMB, r.TransferredGlobalMB, r.ExtraTransferPct, r.PhysicalMB)
+	}
+	fmt.Println("both strategies store identical bytes; two-stage pays the Extra% bandwidth")
+	fmt.Println("premium to keep upload patterns independent across users (§3.3)")
+	return nil
+}
+
+func table1() error {
+	rows, err := bench.Table1(4, 3, 8192)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 1: secret sharing algorithms at (n,k)=(4,3), Ssec=8KB, Skey=32B")
+	fmt.Printf("%-18s %-6s %-16s %-16s %-10s\n", "Algorithm", "r", "Blowup(formula)", "Blowup(measured)", "Share(B)")
+	for _, r := range rows {
+		fmt.Printf("%-18s %-6d %-16.4f %-16.4f %-10d\n", r.Name, r.R, r.AnalyticBlowup, r.MeasuredBlowup, r.ShareSizeBytes)
+	}
+	return nil
+}
+
+func table2(dataMB, runs int) error {
+	rows, err := bench.CloudSpeeds(dataMB, runs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table 2: per-cloud speeds, %dMB in 4MB units, %d runs (MB/s, mean (std))\n", dataMB, runs)
+	fmt.Printf("%-12s %-18s %-18s\n", "Cloud", "Upload", "Download")
+	for _, r := range rows {
+		fmt.Printf("%-12s %6.2f (%.2f)      %6.2f (%.2f)\n", r.Cloud, r.UpMean, r.UpStd, r.DownMean, r.DownStd)
+	}
+	fmt.Println("paper:      Amazon 5.87/4.45, Google 4.99/4.45, Azure 19.59/13.78, Rackspace 19.42/12.93")
+	return nil
+}
+
+func fig5a(dataMB int) error {
+	rows, err := bench.EncodingSpeedVsThreads(dataMB, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 5(a): encoding speed vs #threads, (n,k)=(4,3), %dMB random data\n", dataMB)
+	fmt.Printf("%-18s %-8s %-10s\n", "Scheme", "Threads", "MB/s")
+	for _, r := range rows {
+		fmt.Printf("%-18s %-8d %-10.1f\n", r.Scheme, r.Threads, r.MBps)
+	}
+	fmt.Println("paper shape: CAONT-RS > AONT-RS > CAONT-RS-Rivest; scales with threads")
+	return nil
+}
+
+func fig5b(dataMB int) error {
+	rows, err := bench.EncodingSpeedVsN(dataMB, 2, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 5(b): encoding speed vs n (k/n<=3/4), 2 threads, %dMB random data\n", dataMB)
+	fmt.Printf("%-18s %-8s %-8s %-10s\n", "Scheme", "n", "k", "MB/s")
+	for _, r := range rows {
+		fmt.Printf("%-18s %-8d %-8d %-10.1f\n", r.Scheme, r.N, r.K, r.MBps)
+	}
+	fmt.Println("paper shape: mild decline with n (steeper here: table-driven GF vs SIMD GF-Complete)")
+	return nil
+}
+
+func fig6(quick bool) error {
+	fsl := workload.FSLConfig{Seed: 1}
+	vm := workload.VMConfig{Seed: 2}
+	if quick {
+		fsl.Users, fsl.Weeks, fsl.ChunksPerUser = 9, 8, 800
+		vm.Users, vm.Weeks, vm.ChunksPerImage = 40, 8, 600
+	}
+	rows, err := bench.DedupEfficiency(fsl, vm, 4, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 6(a): weekly intra-/inter-user dedup savings; 6(b): cumulative volumes (MB)")
+	fmt.Printf("%-8s %-5s %-9s %-9s %-12s %-12s %-12s %-12s\n",
+		"Dataset", "Week", "Intra%", "Inter%", "Logical", "LogShares", "Transferred", "Physical")
+	const mb = 1 << 20
+	for _, r := range rows {
+		fmt.Printf("%-8s %-5d %-9.1f %-9.1f %-12d %-12d %-12d %-12d\n",
+			r.Dataset, r.Week, 100*r.IntraSaving, 100*r.InterSaving,
+			r.CumLogicalData/mb, r.CumLogicalShares/mb, r.CumTransferred/mb, r.CumPhysicalShares/mb)
+	}
+	fmt.Println("paper shape: FSL intra>=94% after wk1, inter<=13%; VM wk1 inter~93%, later 12-47%")
+	return nil
+}
+
+func fig7a(lanMB, cloudMB int) error {
+	fmt.Println("Figure 7(a): single-client baseline transfer speeds (MB/s)")
+	lan, err := bench.BaselineTransfer(bench.TestbedLAN, lanMB)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s upload(uniq)=%-8.1f upload(dup)=%-8.1f download=%-8.1f  (%dMB)\n",
+		lan.Testbed, lan.UploadUniqueMBps, lan.UploadDupMBps, lan.DownloadMBps, lanMB)
+	cl, err := bench.BaselineTransfer(bench.TestbedCloud, cloudMB)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s upload(uniq)=%-8.1f upload(dup)=%-8.1f download=%-8.1f  (%dMB)\n",
+		cl.Testbed, cl.UploadUniqueMBps, cl.UploadDupMBps, cl.DownloadMBps, cloudMB)
+	fmt.Println("paper: LAN 77.5/149.9/99.2; Cloud 6.2/57.1/12.3")
+	return nil
+}
+
+func fig7b(quick bool) error {
+	weeks, chunks := 3, 2500
+	if quick {
+		weeks, chunks = 2, 800
+	}
+	fmt.Println("Figure 7(b): trace-driven transfer speeds (MB/s), FSL-like weekly backups")
+	lan, err := bench.TraceDrivenTransfer(bench.TestbedLAN, weeks, chunks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s upload(first)=%-8.1f upload(subsqt)=%-8.1f download=%-8.1f\n",
+		lan.Testbed, lan.UploadFirstMBps, lan.UploadSubsqMBps, lan.DownloadMBps)
+	cl, err := bench.TraceDrivenTransfer(bench.TestbedCloud, weeks, chunks/8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s upload(first)=%-8.1f upload(subsqt)=%-8.1f download=%-8.1f\n",
+		cl.Testbed, cl.UploadFirstMBps, cl.UploadSubsqMBps, cl.DownloadMBps)
+	fmt.Println("paper: LAN 92.3/145.1/89.6; Cloud 6.9/56.2/9.5")
+	return nil
+}
+
+func fig8(dataMB int) error {
+	rows, err := bench.AggregateUpload([]int{1, 2, 4, 8}, dataMB, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 8: aggregate upload speed vs #clients (LAN shape, %dMB each)\n", dataMB)
+	fmt.Printf("%-10s %-16s %-16s\n", "Clients", "Unique (MB/s)", "Dup (MB/s)")
+	for _, r := range rows {
+		fmt.Printf("%-10d %-16.1f %-16.1f\n", r.Clients, r.UniqueAggMBps, r.DupAggMBps)
+	}
+	fmt.Println("paper shape: unique scales to ~282 MB/s at 8 clients; dup reaches ~572 MB/s")
+	return nil
+}
+
+func fig9a() error {
+	rows, err := bench.CostVsWeeklySize(nil, 10)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 9(a): cost saving vs weekly backup size (dedup ratio 10x, 26-week retention)")
+	fmt.Printf("%-10s %-14s %-14s %-12s %-12s %-12s %-12s\n",
+		"WeeklyTB", "vsAONT-RS%", "vsSingle%", "CDStore$", "AONT-RS$", "Single$", "Instance")
+	for _, r := range rows {
+		fmt.Printf("%-10.2f %-14.1f %-14.1f %-12.0f %-12.0f %-12.0f %-12s\n",
+			r.WeeklyTB, 100*r.SavingVsAONTRS, 100*r.SavingVsSingle, r.CDStoreUSD, r.AONTRSUSD, r.SingleUSD, r.Instance)
+	}
+	fmt.Println("paper: ~70%+ saving at 16TB weekly; growth slows at large sizes (recipe overhead)")
+	return nil
+}
+
+func fig9b() error {
+	rows, err := bench.CostVsDedupRatio(nil, 16)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 9(b): cost saving vs dedup ratio (16TB weekly, 26-week retention)")
+	fmt.Printf("%-10s %-14s %-14s %-12s\n", "Ratio", "vsAONT-RS%", "vsSingle%", "CDStore$")
+	for _, r := range rows {
+		fmt.Printf("%-10.0f %-14.1f %-14.1f %-12.0f\n",
+			r.DedupRatio, 100*r.SavingVsAONTRS, 100*r.SavingVsSingle, r.CDStoreUSD)
+	}
+	fmt.Println("paper: 70-80% saving for ratios between 10x and 50x")
+	return nil
+}

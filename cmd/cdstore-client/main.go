@@ -1,0 +1,137 @@
+// Command cdstore-client backs up and restores files against a multi-
+// cloud CDStore deployment.
+//
+// Usage:
+//
+//	cdstore-client -servers host:9000,host:9001,host:9002,host:9003 -user 1 \
+//	    backup  <remote-path> <local-file>
+//	    restore <remote-path> <local-file>
+//	    list
+//	    delete  <remote-path>
+//	    repair  <remote-path> <cloud-index>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cdstore/internal/client"
+)
+
+func main() {
+	var (
+		servers = flag.String("servers", "", "comma-separated server addresses, one per cloud (cloud i = i-th)")
+		user    = flag.Uint64("user", 1, "user identifier")
+		k       = flag.Int("k", 3, "reconstruction threshold")
+		threads = flag.Int("threads", 2, "encoding threads")
+		salt    = flag.String("salt", "", "organization salt for the convergent hash (optional)")
+	)
+	flag.Parse()
+	addrs := strings.Split(*servers, ",")
+	if *servers == "" || flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: cdstore-client -servers a,b,c,d [-user N] <backup|restore|list|delete|repair> ...")
+		os.Exit(2)
+	}
+	n := len(addrs)
+	dialers := make([]client.Dialer, n)
+	for i, addr := range addrs {
+		addr := addr
+		dialers[i] = func() (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 10*time.Second)
+		}
+	}
+	var saltBytes []byte
+	if *salt != "" {
+		saltBytes = []byte(*salt)
+	}
+	c, err := client.Connect(client.Options{
+		UserID:        *user,
+		N:             n,
+		K:             *k,
+		EncodeThreads: *threads,
+		Salt:          saltBytes,
+	}, dialers)
+	if err != nil {
+		log.Fatalf("connecting: %v", err)
+	}
+	defer c.Close()
+
+	args := flag.Args()
+	switch args[0] {
+	case "backup":
+		if len(args) != 3 {
+			log.Fatal("usage: backup <remote-path> <local-file>")
+		}
+		f, err := os.Open(args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		start := time.Now()
+		stats, err := c.Backup(args[1], f)
+		if err != nil {
+			log.Fatalf("backup: %v", err)
+		}
+		el := time.Since(start).Seconds()
+		fmt.Printf("backed up %s: %d bytes, %d secrets, transferred %d share bytes (intra-user saving %.1f%%), %.1f MB/s\n",
+			args[1], stats.LogicalBytes, stats.Secrets, stats.TransferredShareBytes,
+			100*stats.IntraUserSaving(), float64(stats.LogicalBytes)/(1<<20)/el)
+	case "restore":
+		if len(args) != 3 {
+			log.Fatal("usage: restore <remote-path> <local-file>")
+		}
+		f, err := os.Create(args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		stats, err := c.Restore(args[1], f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatalf("restore: %v", err)
+		}
+		el := time.Since(start).Seconds()
+		fmt.Printf("restored %s: %d bytes, %d secrets, %d subset retries, %.1f MB/s\n",
+			args[1], stats.Bytes, stats.Secrets, stats.SubsetRetries, float64(stats.Bytes)/(1<<20)/el)
+	case "list":
+		files, err := c.ListFiles()
+		if err != nil {
+			log.Fatalf("list: %v", err)
+		}
+		for _, f := range files {
+			fmt.Printf("%12d  %8d secrets  %s\n", f.FileSize, f.NumSecrets, f.Path)
+		}
+	case "delete":
+		if len(args) != 2 {
+			log.Fatal("usage: delete <remote-path>")
+		}
+		if err := c.Delete(args[1]); err != nil {
+			log.Fatalf("delete: %v", err)
+		}
+		fmt.Printf("deleted %s\n", args[1])
+	case "repair":
+		if len(args) != 3 {
+			log.Fatal("usage: repair <remote-path> <cloud-index>")
+		}
+		idx, err := strconv.Atoi(args[2])
+		if err != nil {
+			log.Fatalf("bad cloud index: %v", err)
+		}
+		stats, err := c.Repair(args[1], idx)
+		if err != nil {
+			log.Fatalf("repair: %v", err)
+		}
+		fmt.Printf("repaired %s on cloud %d: %d secrets, %d shares rebuilt (%d bytes)\n",
+			args[1], idx, stats.Secrets, stats.SharesRebuilt, stats.BytesReuploads)
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}

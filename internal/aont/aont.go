@@ -1,0 +1,208 @@
+// Package aont implements all-or-nothing transforms (AONTs).
+//
+// An AONT maps data to a "package" such that no information about the data
+// can be recovered unless the entire package is available. Two transforms
+// are provided:
+//
+//   - Rivest's package transform (FSE '97), as used by AONT-RS
+//     (Resch & Plank, FAST '11): every 16-byte word is masked with an
+//     index value encrypted under the package key, a canary word is added
+//     for integrity, and the key is hidden behind a hash of the masked
+//     words.
+//
+//   - An OAEP-based AONT (Bellare-Rogaway OAEP, Boyko CRYPTO '99), the
+//     transform CAONT-RS adopts: a single bulk encryption of a
+//     constant-value block masks the whole input at once, which is the
+//     performance edge the CDStore paper measures in §5.3.
+//
+// Neither transform chooses the key: the caller supplies it. AONT-RS
+// passes a random key; convergent dispersal passes a hash of the data
+// (see internal/core).
+package aont
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	// WordSize is the Rivest transform word size (one AES block).
+	WordSize = aes.BlockSize // 16
+	// KeySize is the package key size (AES-256).
+	KeySize = 32
+	// HashSize is the size of the embedded SHA-256 digest.
+	HashSize = sha256.Size // 32
+)
+
+// Canary is the constant word appended by the Rivest transform for
+// integrity checking. A decode that does not reproduce it signals a
+// corrupted or forged package.
+var Canary = [WordSize]byte{
+	0xc0, 0xff, 0xee, 0x15, 0x90, 0x0d, 0xc0, 0xff,
+	0xee, 0x15, 0x90, 0x0d, 0xde, 0xad, 0xbe, 0xef,
+}
+
+// Errors returned by the unpack functions.
+var (
+	ErrBadKeySize   = errors.New("aont: key must be 32 bytes")
+	ErrShortPackage = errors.New("aont: package too short")
+	ErrCanary       = errors.New("aont: canary mismatch (package corrupted)")
+	ErrBadLength    = errors.New("aont: original length inconsistent with package")
+)
+
+// RivestPackageSize returns the package size produced by PackageRivest for
+// a dataLen-byte input: the padded data words, one canary word, and the
+// 32-byte key-difference block.
+func RivestPackageSize(dataLen int) int {
+	words := (dataLen + WordSize - 1) / WordSize
+	return (words+1)*WordSize + HashSize
+}
+
+// PackageRivest applies Rivest's package transform to data under key.
+//
+// Layout: c_1 .. c_s, c_canary, tail where c_i = d_i XOR E_key(i) and
+// tail = key XOR SHA-256(c_1 .. c_canary). The data words are zero-padded
+// to a whole number of 16-byte words; callers must remember the original
+// length to strip the padding at unpack time.
+func PackageRivest(data, key []byte) ([]byte, error) {
+	if len(key) != KeySize {
+		return nil, ErrBadKeySize
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	words := (len(data) + WordSize - 1) / WordSize
+	pkg := make([]byte, (words+1)*WordSize+HashSize)
+	copy(pkg, data) // zero padding is implicit in make
+	copy(pkg[words*WordSize:], Canary[:])
+
+	var idx, mask [WordSize]byte
+	for i := 0; i <= words; i++ {
+		binary.BigEndian.PutUint64(idx[8:], uint64(i+1))
+		block.Encrypt(mask[:], idx[:])
+		w := pkg[i*WordSize : (i+1)*WordSize]
+		for j := 0; j < WordSize; j++ {
+			w[j] ^= mask[j]
+		}
+	}
+	digest := sha256.Sum256(pkg[:(words+1)*WordSize])
+	tail := pkg[(words+1)*WordSize:]
+	for j := 0; j < HashSize; j++ {
+		tail[j] = key[j] ^ digest[j]
+	}
+	return pkg, nil
+}
+
+// UnpackRivest inverts PackageRivest, returning the original data of
+// length origLen and the recovered key. It fails with ErrCanary when the
+// package was corrupted.
+func UnpackRivest(pkg []byte, origLen int) (data, key []byte, err error) {
+	if len(pkg) < WordSize+HashSize {
+		return nil, nil, ErrShortPackage
+	}
+	body := pkg[:len(pkg)-HashSize]
+	if len(body)%WordSize != 0 {
+		return nil, nil, fmt.Errorf("%w: body %d bytes not word aligned", ErrShortPackage, len(body))
+	}
+	words := len(body)/WordSize - 1 // last word is the canary
+	if origLen < 0 || origLen > words*WordSize || (words > 0 && origLen <= (words-1)*WordSize) {
+		return nil, nil, fmt.Errorf("%w: origLen=%d words=%d", ErrBadLength, origLen, words)
+	}
+	digest := sha256.Sum256(body)
+	key = make([]byte, KeySize)
+	tail := pkg[len(pkg)-HashSize:]
+	for j := 0; j < HashSize; j++ {
+		key[j] = tail[j] ^ digest[j]
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	plain := make([]byte, len(body))
+	var idx, mask [WordSize]byte
+	for i := 0; i <= words; i++ {
+		binary.BigEndian.PutUint64(idx[8:], uint64(i+1))
+		block.Encrypt(mask[:], idx[:])
+		src := body[i*WordSize : (i+1)*WordSize]
+		dst := plain[i*WordSize : (i+1)*WordSize]
+		for j := 0; j < WordSize; j++ {
+			dst[j] = src[j] ^ mask[j]
+		}
+	}
+	canary := plain[words*WordSize:]
+	for j := 0; j < WordSize; j++ {
+		if canary[j] != Canary[j] {
+			return nil, nil, ErrCanary
+		}
+	}
+	// Padding bytes beyond origLen must be zero.
+	for _, b := range plain[origLen : words*WordSize] {
+		if b != 0 {
+			return nil, nil, ErrCanary
+		}
+	}
+	return plain[:origLen:origLen], key, nil
+}
+
+// OAEPPackageSize returns the package size produced by PackageOAEP:
+// the input plus the 32-byte tail.
+func OAEPPackageSize(dataLen int) int { return dataLen + HashSize }
+
+// PackageOAEP applies the OAEP-based AONT of CAONT-RS (§3.2):
+//
+//	Y = X XOR G(h)      G(h) = E_h(C), C the all-zero constant block
+//	t = h XOR H(Y)
+//
+// and returns Y || t. G is realized as AES-256 in CTR mode with a zero IV
+// over the constant block, i.e. one bulk encryption pass — the single
+// "large-size, constant-value block" encryption the paper contrasts with
+// Rivest's per-word masking. h must be 32 bytes (the hash key for
+// convergent dispersal, or a random key otherwise).
+func PackageOAEP(data, h []byte) ([]byte, error) {
+	if len(h) != KeySize {
+		return nil, ErrBadKeySize
+	}
+	block, err := aes.NewCipher(h)
+	if err != nil {
+		return nil, err
+	}
+	pkg := make([]byte, len(data)+HashSize)
+	y := pkg[:len(data)]
+	var iv [aes.BlockSize]byte
+	cipher.NewCTR(block, iv[:]).XORKeyStream(y, data)
+	digest := sha256.Sum256(y)
+	tail := pkg[len(data):]
+	for j := 0; j < HashSize; j++ {
+		tail[j] = h[j] ^ digest[j]
+	}
+	return pkg, nil
+}
+
+// UnpackOAEP inverts PackageOAEP, returning the original data and the
+// recovered key h. The transform itself carries no integrity check;
+// convergent users verify H(data) == h afterwards (see internal/core).
+func UnpackOAEP(pkg []byte) (data, h []byte, err error) {
+	if len(pkg) < HashSize {
+		return nil, nil, ErrShortPackage
+	}
+	y := pkg[:len(pkg)-HashSize]
+	tail := pkg[len(pkg)-HashSize:]
+	digest := sha256.Sum256(y)
+	h = make([]byte, KeySize)
+	for j := 0; j < HashSize; j++ {
+		h[j] = tail[j] ^ digest[j]
+	}
+	block, err := aes.NewCipher(h)
+	if err != nil {
+		return nil, nil, err
+	}
+	data = make([]byte, len(y))
+	var iv [aes.BlockSize]byte
+	cipher.NewCTR(block, iv[:]).XORKeyStream(data, y)
+	return data, h, nil
+}

@@ -1,0 +1,264 @@
+package aont
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/sha256"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randKey(t testing.TB) []byte {
+	t.Helper()
+	key := make([]byte, KeySize)
+	if _, err := rand.Read(key); err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestRivestRoundTrip(t *testing.T) {
+	key := randKey(t)
+	for _, size := range []int{0, 1, 15, 16, 17, 100, 4096, 8192, 8193} {
+		data := make([]byte, size)
+		mrand.New(mrand.NewSource(int64(size))).Read(data)
+		pkg, err := PackageRivest(data, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkg) != RivestPackageSize(size) {
+			t.Fatalf("size %d: package %d bytes, want %d", size, len(pkg), RivestPackageSize(size))
+		}
+		got, gotKey, err := UnpackRivest(pkg, size)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("size %d: data mismatch", size)
+		}
+		if !bytes.Equal(gotKey, key) {
+			t.Fatalf("size %d: recovered key mismatch", size)
+		}
+	}
+}
+
+func TestRivestDetectsCorruption(t *testing.T) {
+	key := randKey(t)
+	data := make([]byte, 1000)
+	mrand.New(mrand.NewSource(1)).Read(data)
+	pkg, err := PackageRivest(data, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flipping any single byte anywhere in the package must trip the canary
+	// (or the zero-padding check): all-or-nothing integrity.
+	for _, pos := range []int{0, 500, len(pkg) - HashSize - 1, len(pkg) - 1} {
+		bad := append([]byte(nil), pkg...)
+		bad[pos] ^= 0x01
+		if _, _, err := UnpackRivest(bad, len(data)); err == nil {
+			t.Fatalf("corruption at byte %d went undetected", pos)
+		}
+	}
+}
+
+func TestRivestBadInputs(t *testing.T) {
+	if _, err := PackageRivest([]byte("x"), []byte("short")); err != ErrBadKeySize {
+		t.Fatalf("want ErrBadKeySize, got %v", err)
+	}
+	if _, _, err := UnpackRivest([]byte("tiny"), 4); err != ErrShortPackage {
+		t.Fatalf("want ErrShortPackage, got %v", err)
+	}
+	key := randKey(t)
+	pkg, _ := PackageRivest(make([]byte, 64), key)
+	// origLen inconsistent with the number of words.
+	if _, _, err := UnpackRivest(pkg, 10); err == nil {
+		t.Fatal("inconsistent origLen should fail")
+	}
+	if _, _, err := UnpackRivest(pkg, 65); err == nil {
+		t.Fatal("origLen larger than payload should fail")
+	}
+	// Misaligned package body.
+	if _, _, err := UnpackRivest(pkg[:len(pkg)-1], 64); err == nil {
+		t.Fatal("misaligned package should fail")
+	}
+}
+
+func TestRivestDeterministicForSameKey(t *testing.T) {
+	// Convergent dispersal depends on this: same (data, key) -> same package.
+	key := randKey(t)
+	data := []byte("identical content stored by two different users")
+	a, err := PackageRivest(data, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PackageRivest(data, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("PackageRivest is not deterministic")
+	}
+}
+
+func TestRivestKeysDiversifyPackages(t *testing.T) {
+	data := []byte("same plaintext")
+	a, _ := PackageRivest(data, randKey(t))
+	b, _ := PackageRivest(data, randKey(t))
+	if bytes.Equal(a, b) {
+		t.Fatal("different keys must produce different packages")
+	}
+}
+
+func TestOAEPRoundTrip(t *testing.T) {
+	key := randKey(t)
+	for _, size := range []int{0, 1, 16, 31, 8192, 10000} {
+		data := make([]byte, size)
+		mrand.New(mrand.NewSource(int64(size + 7))).Read(data)
+		pkg, err := PackageOAEP(data, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkg) != OAEPPackageSize(size) {
+			t.Fatalf("size %d: package %d bytes, want %d", size, len(pkg), OAEPPackageSize(size))
+		}
+		got, gotKey, err := UnpackOAEP(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("size %d: data mismatch", size)
+		}
+		if !bytes.Equal(gotKey, key) {
+			t.Fatalf("size %d: key mismatch", size)
+		}
+	}
+}
+
+func TestOAEPConvergentIntegrityCheck(t *testing.T) {
+	// The CAONT-RS usage: h = SHA-256(X). After unpack, H(data) == h iff
+	// the package is intact.
+	data := []byte("the secret chunk content")
+	h := sha256.Sum256(data)
+	pkg, err := PackageOAEP(data, h[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotH, err := UnpackOAEP(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := sha256.Sum256(got)
+	if !bytes.Equal(check[:], gotH) {
+		t.Fatal("intact package failed convergent integrity check")
+	}
+	// Corrupt one byte: the recovered data must no longer hash to h.
+	for _, pos := range []int{0, 5, len(pkg) - 1} {
+		bad := append([]byte(nil), pkg...)
+		bad[pos] ^= 0x80
+		gotBad, hBad, err := UnpackOAEP(bad)
+		if err != nil {
+			continue // also acceptable: outright failure
+		}
+		checkBad := sha256.Sum256(gotBad)
+		if bytes.Equal(checkBad[:], hBad) {
+			t.Fatalf("corruption at %d passed the integrity check", pos)
+		}
+	}
+}
+
+func TestOAEPAvalanche(t *testing.T) {
+	// All-or-nothing: a one-byte change in the tail flips the derived key
+	// and therefore decodes to unrelated data.
+	data := make([]byte, 1024)
+	mrand.New(mrand.NewSource(11)).Read(data)
+	h := sha256.Sum256(data)
+	pkg, _ := PackageOAEP(data, h[:])
+	bad := append([]byte(nil), pkg...)
+	bad[len(bad)-1] ^= 0x01
+	got, _, err := UnpackOAEP(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range got {
+		if got[i] == data[i] {
+			same++
+		}
+	}
+	// Expect ~1/256 coincidence rate; 10% is a generous bound.
+	if same > len(data)/10 {
+		t.Fatalf("tail corruption left %d/%d bytes intact; transform is not all-or-nothing", same, len(data))
+	}
+}
+
+func TestOAEPBadInputs(t *testing.T) {
+	if _, err := PackageOAEP([]byte("x"), []byte("short")); err != ErrBadKeySize {
+		t.Fatalf("want ErrBadKeySize, got %v", err)
+	}
+	if _, _, err := UnpackOAEP(make([]byte, HashSize-1)); err != ErrShortPackage {
+		t.Fatalf("want ErrShortPackage, got %v", err)
+	}
+}
+
+func TestOAEPPropertyRoundTrip(t *testing.T) {
+	key := randKey(t)
+	err := quick.Check(func(data []byte) bool {
+		pkg, err := PackageOAEP(data, key)
+		if err != nil {
+			return false
+		}
+		got, gotKey, err := UnpackOAEP(pkg)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data) && bytes.Equal(gotKey, key)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRivestPropertyRoundTrip(t *testing.T) {
+	key := randKey(t)
+	err := quick.Check(func(data []byte) bool {
+		pkg, err := PackageRivest(data, key)
+		if err != nil {
+			return false
+		}
+		got, gotKey, err := UnpackRivest(pkg, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data) && bytes.Equal(gotKey, key)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPackageRivest8KB(b *testing.B) {
+	key := randKey(b)
+	data := make([]byte, 8192)
+	mrand.New(mrand.NewSource(3)).Read(data)
+	b.SetBytes(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PackageRivest(data, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPackageOAEP8KB(b *testing.B) {
+	key := randKey(b)
+	data := make([]byte, 8192)
+	mrand.New(mrand.NewSource(4)).Read(data)
+	b.SetBytes(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PackageOAEP(data, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"cdstore/internal/dedup"
+	"cdstore/internal/workload"
+)
+
+// AblationRow quantifies the two-stage vs client-global dedup trade-off
+// (the §3.3 design decision): how much extra upload bandwidth two-stage
+// costs to stay side-channel free, for each dataset.
+type AblationRow struct {
+	Dataset string
+	// TransferredTwoStageMB / TransferredGlobalMB are total upload
+	// volumes (MB).
+	TransferredTwoStageMB float64
+	TransferredGlobalMB   float64
+	// ExtraTransferPct is the bandwidth premium of two-stage dedup.
+	ExtraTransferPct float64
+	// PhysicalMB is the stored volume (identical for both strategies).
+	PhysicalMB float64
+}
+
+// DedupAblation replays both synthetic datasets through two-stage and
+// client-side-global deduplication.
+func DedupAblation(fsl workload.FSLConfig, vm workload.VMConfig, n, k int) ([]AblationRow, error) {
+	const mb = 1 << 20
+	run := func(name string, weeks [][]workload.Backup) AblationRow {
+		var uploads []struct {
+			User   int
+			Chunks []dedup.Chunk
+		}
+		for _, wk := range weeks {
+			for _, b := range wk {
+				uploads = append(uploads, struct {
+					User   int
+					Chunks []dedup.Chunk
+				}{User: b.User, Chunks: b.Chunks})
+			}
+		}
+		cmp := dedup.CompareStrategies(n, dedup.CAONTRSSizer(k), uploads)
+		return AblationRow{
+			Dataset:               name,
+			TransferredTwoStageMB: float64(cmp.TwoStage.TransferredShares) / mb,
+			TransferredGlobalMB:   float64(cmp.Global.TransferredShares) / mb,
+			ExtraTransferPct:      100 * cmp.ExtraTransferFraction,
+			PhysicalMB:            float64(cmp.TwoStage.PhysicalShares) / mb,
+		}
+	}
+	return []AblationRow{
+		run("FSL", workload.GenerateFSL(fsl)),
+		run("VM", workload.GenerateVM(vm)),
+	}, nil
+}

@@ -1,0 +1,150 @@
+// Package cache provides LRU caches: a generic in-memory LRU used as the
+// lsmkv block cache, and a disk-backed container cache used by the
+// CDStore server's container module (§4.5: "a least-recently-used (LRU)
+// disk cache to hold the most recently accessed containers").
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a fixed-capacity least-recently-used cache. It is safe for
+// concurrent use. Capacity is measured in entries by default, or in
+// charged bytes when entries are added with AddCharged.
+type LRU struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	ll       *list.List
+	items    map[string]*list.Element
+
+	hits, misses uint64
+
+	// OnEvict, if non-nil, is called (without the lock held) with each
+	// evicted key/value.
+	OnEvict func(key string, value interface{})
+}
+
+type entry struct {
+	key    string
+	value  interface{}
+	charge int64
+}
+
+// NewLRU creates a cache holding at most capacity units (entries, or
+// bytes when using AddCharged). capacity must be positive.
+func NewLRU(capacity int64) *LRU {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &LRU{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Add inserts key with a charge of 1 unit.
+func (c *LRU) Add(key string, value interface{}) { c.AddCharged(key, value, 1) }
+
+// AddCharged inserts key charging the given number of units against
+// capacity (e.g. the byte size of a cached block). A charge larger than
+// the whole capacity is rejected silently — caching it would evict
+// everything for no benefit.
+func (c *LRU) AddCharged(key string, value interface{}, charge int64) {
+	if charge <= 0 {
+		charge = 1
+	}
+	if charge > c.capacity {
+		return
+	}
+	var evicted []*entry
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.used += charge - e.charge
+		e.value, e.charge = value, charge
+		c.ll.MoveToFront(el)
+	} else {
+		e := &entry{key: key, value: value, charge: charge}
+		c.items[key] = c.ll.PushFront(e)
+		c.used += charge
+	}
+	for c.used > c.capacity {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.used -= e.charge
+		evicted = append(evicted, e)
+	}
+	c.mu.Unlock()
+	if c.OnEvict != nil {
+		for _, e := range evicted {
+			c.OnEvict(e.key, e.value)
+		}
+	}
+}
+
+// Get returns the cached value and whether it was present, promoting the
+// entry to most-recently-used.
+func (c *LRU) Get(key string) (interface{}, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Remove deletes key from the cache if present, returning whether it was.
+func (c *LRU) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, key)
+	c.used -= e.charge
+	return true
+}
+
+// Len returns the number of cached entries.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Used returns the total charged units currently held.
+func (c *LRU) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *LRU) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Purge empties the cache without invoking OnEvict.
+func (c *LRU) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	c.used = 0
+}

@@ -1,0 +1,280 @@
+// Package chunker divides byte streams into secrets (chunks) for
+// deduplication. It implements content-defined variable-size chunking
+// based on Rabin fingerprinting (Rabin '81) — the default in CDStore,
+// configured as in §4.2 with average/minimum/maximum chunk sizes of
+// 8KB/2KB/16KB — plus simple fixed-size chunking.
+//
+// Variable-size chunking places chunk boundaries where a rolling hash of
+// the trailing window matches a pattern, so boundaries depend only on
+// content: inserting bytes near the start of a file disturbs only nearby
+// chunks instead of shifting every subsequent chunk, which is what makes
+// deduplication of mutated backups effective.
+package chunker
+
+import (
+	"io"
+)
+
+// Pol is a polynomial over GF(2), one bit per coefficient.
+type Pol uint64
+
+// RabinPoly is the irreducible polynomial of degree 53 used for
+// fingerprinting (the LBFS polynomial).
+const RabinPoly Pol = 0x3DA3358B4DC173
+
+// WindowSize is the number of bytes in the rolling hash window.
+const WindowSize = 48
+
+// Deg returns the degree of the polynomial, or -1 for the zero polynomial.
+func (p Pol) Deg() int {
+	d := -1
+	for v := uint64(p); v != 0; v >>= 1 {
+		d++
+	}
+	return d
+}
+
+// Mod returns p modulo q over GF(2).
+func (p Pol) Mod(q Pol) Pol {
+	if q == 0 {
+		panic("chunker: modulo zero polynomial")
+	}
+	dq := q.Deg()
+	for p.Deg() >= dq {
+		p ^= q << uint(p.Deg()-dq)
+	}
+	return p
+}
+
+// appendByte returns ((h << 8) | b) mod q, computed by long division.
+func appendByte(h Pol, b byte, q Pol) Pol {
+	h <<= 8
+	h |= Pol(b)
+	return h.Mod(q)
+}
+
+// tables holds the precomputed Rabin tables for one polynomial.
+type tables struct {
+	out [256]Pol // contribution of a byte leaving the window
+	mod [256]Pol // reduction of the top 8 bits after a shift
+}
+
+var rabinTables = buildTables(RabinPoly)
+
+func buildTables(q Pol) *tables {
+	t := &tables{}
+	k := q.Deg()
+	for b := 0; b < 256; b++ {
+		// out[b] = hash of (b || 0^(WindowSize-1)): XORing it removes the
+		// oldest byte's linear contribution from the rolling hash.
+		h := appendByte(0, byte(b), q)
+		for i := 0; i < WindowSize-1; i++ {
+			h = appendByte(h, 0, q)
+		}
+		t.out[b] = h
+		// mod[b] clears bits k..k+7 and adds their reduction in one XOR.
+		t.mod[b] = (Pol(b) << uint(k)).Mod(q) | (Pol(b) << uint(k))
+	}
+	return t
+}
+
+// Default chunk size configuration (§4.2).
+const (
+	DefaultMinSize = 2 * 1024
+	DefaultAvgSize = 8 * 1024
+	DefaultMaxSize = 16 * 1024
+)
+
+// Chunk is one secret produced by a chunker.
+type Chunk struct {
+	// Data is the chunk content. The slice is owned by the caller after
+	// Next returns.
+	Data []byte
+	// Offset is the chunk's byte offset in the input stream.
+	Offset int64
+}
+
+// Chunker emits successive chunks of an input stream. Next returns io.EOF
+// after the final chunk.
+type Chunker interface {
+	Next() (Chunk, error)
+}
+
+// Rabin is a content-defined chunker with a Rabin rolling hash.
+type Rabin struct {
+	r             io.Reader
+	min, avg, max int
+	mask          Pol
+	polShift      uint
+
+	buf    []byte // carry-over of unconsumed input
+	offset int64
+	err    error // sticky read error (returned after buffered data drains)
+}
+
+// NewRabin returns a content-defined chunker over r with the default
+// 2KB/8KB/16KB configuration.
+func NewRabin(r io.Reader) *Rabin {
+	c, err := NewRabinSizes(r, DefaultMinSize, DefaultAvgSize, DefaultMaxSize)
+	if err != nil {
+		panic(err) // defaults are valid by construction
+	}
+	return c
+}
+
+// NewRabinSizes returns a content-defined chunker with explicit minimum,
+// average, and maximum chunk sizes. avg must be a power of two and
+// min <= avg <= max must hold, with min >= WindowSize.
+func NewRabinSizes(r io.Reader, min, avg, max int) (*Rabin, error) {
+	if avg <= 0 || avg&(avg-1) != 0 {
+		return nil, errAvgNotPow2
+	}
+	if min < WindowSize || min > avg || avg > max {
+		return nil, errBadSizes
+	}
+	return &Rabin{
+		r:        r,
+		min:      min,
+		avg:      avg,
+		max:      max,
+		mask:     Pol(avg - 1),
+		polShift: uint(RabinPoly.Deg() - 8),
+	}, nil
+}
+
+type chunkerError string
+
+func (e chunkerError) Error() string { return string(e) }
+
+const (
+	errAvgNotPow2 = chunkerError("chunker: average chunk size must be a power of two")
+	errBadSizes   = chunkerError("chunker: require WindowSize <= min <= avg <= max")
+)
+
+// fill tops up the internal buffer to at least n bytes (or until EOF).
+func (c *Rabin) fill(n int) {
+	for len(c.buf) < n && c.err == nil {
+		chunk := make([]byte, 64*1024)
+		m, err := c.r.Read(chunk)
+		if m > 0 {
+			c.buf = append(c.buf, chunk[:m]...)
+		}
+		if err != nil {
+			c.err = err
+		}
+	}
+}
+
+// Next implements Chunker.
+func (c *Rabin) Next() (Chunk, error) {
+	c.fill(c.max)
+	if len(c.buf) == 0 {
+		if c.err != nil && c.err != io.EOF {
+			return Chunk{}, c.err
+		}
+		return Chunk{}, io.EOF
+	}
+	cut := c.findBoundary(c.buf)
+	data := make([]byte, cut)
+	copy(data, c.buf[:cut])
+	ck := Chunk{Data: data, Offset: c.offset}
+	c.buf = c.buf[cut:]
+	c.offset += int64(cut)
+	return ck, nil
+}
+
+// findBoundary scans buf and returns the length of the next chunk.
+func (c *Rabin) findBoundary(buf []byte) int {
+	if len(buf) <= c.min {
+		return len(buf)
+	}
+	limit := c.max
+	if limit > len(buf) {
+		limit = len(buf)
+	}
+	t := rabinTables
+	// Prime the window with the WindowSize bytes ending at min.
+	var digest Pol
+	var window [WindowSize]byte
+	wpos := 0
+	start := c.min - WindowSize
+	for i := start; i < c.min; i++ {
+		b := buf[i]
+		window[wpos] = b
+		wpos = (wpos + 1) % WindowSize
+		index := digest >> c.polShift
+		digest = (digest << 8) | Pol(b)
+		digest ^= t.mod[index]
+	}
+	for i := c.min; i < limit; i++ {
+		if digest&c.mask == c.mask {
+			return i
+		}
+		out := window[wpos]
+		b := buf[i]
+		window[wpos] = b
+		wpos = (wpos + 1) % WindowSize
+		digest ^= t.out[out]
+		index := digest >> c.polShift
+		digest = (digest << 8) | Pol(b)
+		digest ^= t.mod[index]
+	}
+	return limit
+}
+
+// Fixed is a fixed-size chunker (§4.2 implements both; the VM dataset uses
+// 4KB fixed-size chunks).
+type Fixed struct {
+	r      io.Reader
+	size   int
+	offset int64
+	err    error
+}
+
+// NewFixed returns a chunker that emits size-byte chunks (the final chunk
+// may be shorter).
+func NewFixed(r io.Reader, size int) (*Fixed, error) {
+	if size <= 0 {
+		return nil, chunkerError("chunker: fixed chunk size must be positive")
+	}
+	return &Fixed{r: r, size: size}, nil
+}
+
+// Next implements Chunker.
+func (f *Fixed) Next() (Chunk, error) {
+	if f.err != nil {
+		return Chunk{}, f.err
+	}
+	buf := make([]byte, f.size)
+	n, err := io.ReadFull(f.r, buf)
+	if n == 0 {
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			err = io.EOF
+		}
+		f.err = err
+		return Chunk{}, err
+	}
+	if err == io.ErrUnexpectedEOF || err == io.EOF {
+		f.err = io.EOF
+	} else if err != nil {
+		f.err = err
+	}
+	ck := Chunk{Data: buf[:n], Offset: f.offset}
+	f.offset += int64(n)
+	return ck, nil
+}
+
+// ChunkAll runs a chunker to completion and returns all chunks.
+func ChunkAll(c Chunker) ([]Chunk, error) {
+	var out []Chunk
+	for {
+		ck, err := c.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ck)
+	}
+}

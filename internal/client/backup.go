@@ -1,0 +1,322 @@
+package client
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"cdstore/internal/chunker"
+	"cdstore/internal/metadata"
+	"cdstore/internal/protocol"
+)
+
+// BackupStats reports what one backup moved and saved.
+type BackupStats struct {
+	// LogicalBytes is the original file size.
+	LogicalBytes int64
+	// Secrets is the number of chunks produced.
+	Secrets int64
+	// LogicalShareBytes is the total size of all n shares before any
+	// deduplication (the "logical shares" of §5.4).
+	LogicalShareBytes int64
+	// TransferredShareBytes is what was actually sent after intra-user
+	// deduplication (the "transferred shares" of §5.4).
+	TransferredShareBytes int64
+	// SharesSent counts shares transferred across all clouds.
+	SharesSent int64
+	// SharesSkipped counts shares suppressed by intra-user dedup.
+	SharesSkipped int64
+}
+
+// IntraUserSaving returns 1 - transferred/logical (§5.4 metric).
+func (s *BackupStats) IntraUserSaving() float64 {
+	if s.LogicalShareBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.TransferredShareBytes)/float64(s.LogicalShareBytes)
+}
+
+// secretJob is one chunk heading into the encode pool.
+type secretJob struct {
+	seq  uint64
+	data []byte
+}
+
+// shareItem is one encoded share heading to one cloud's uploader.
+type shareItem struct {
+	seq        uint64
+	fp         metadata.Fingerprint
+	data       []byte
+	secretSize uint32
+}
+
+// ChunkSource yields successive secrets for a backup; it returns io.EOF
+// after the final chunk. Chunking normally happens inside Backup via
+// Rabin fingerprinting, but trace-driven workloads whose chunk boundaries
+// are fixed by the trace (§5.5: "Each chunk is treated as a secret") use
+// BackupStream with their own source.
+type ChunkSource interface {
+	NextChunk() ([]byte, error)
+}
+
+// rabinSource adapts the content-defined chunker to ChunkSource.
+type rabinSource struct{ ck chunker.Chunker }
+
+func (r rabinSource) NextChunk() ([]byte, error) {
+	c, err := r.ck.Next()
+	if err != nil {
+		return nil, err
+	}
+	return c.Data, nil
+}
+
+// Backup chunks r — with variable-size Rabin chunking by default (§4.2),
+// or fixed-size chunking when Options.FixedChunkSize is set — encodes
+// every secret with the convergent scheme, runs two-stage deduplication's
+// client half (intra-user dedup queries), and uploads unique shares plus
+// per-cloud recipes. path names the backup for later Restore calls.
+// Backup requires every cloud connection to be up: share i must land on
+// cloud i for deduplication to work (§3.2), so a missing cloud cannot
+// simply be skipped.
+func (c *Client) Backup(path string, r io.Reader) (*BackupStats, error) {
+	if c.opts.FixedChunkSize > 0 {
+		fc, err := chunker.NewFixed(r, c.opts.FixedChunkSize)
+		if err != nil {
+			return nil, err
+		}
+		return c.BackupStream(path, rabinSource{ck: fc})
+	}
+	return c.BackupStream(path, rabinSource{ck: chunker.NewRabin(r)})
+}
+
+// BackupStream is Backup with caller-controlled chunking.
+func (c *Client) BackupStream(path string, source ChunkSource) (*BackupStats, error) {
+	for i, cc := range c.conns {
+		if cc == nil {
+			return nil, fmt.Errorf("client: cloud %d unavailable; backup requires all %d clouds", i, c.opts.N)
+		}
+	}
+	stats := &BackupStats{}
+	var statsMu sync.Mutex
+
+	jobs := make(chan secretJob, 4*c.opts.EncodeThreads)
+	perCloud := make([]chan shareItem, c.opts.N)
+	for i := range perCloud {
+		perCloud[i] = make(chan shareItem, 256)
+	}
+	errCh := make(chan error, c.opts.N+c.opts.EncodeThreads+1)
+
+	// Encoding worker pool (§4.6: parallelize at the secret level).
+	var encodeWG sync.WaitGroup
+	for w := 0; w < c.opts.EncodeThreads; w++ {
+		encodeWG.Add(1)
+		go func() {
+			defer encodeWG.Done()
+			for job := range jobs {
+				shares, err := c.scheme.Split(job.data)
+				if err != nil {
+					errCh <- fmt.Errorf("encode secret %d: %w", job.seq, err)
+					return
+				}
+				fps := fingerprintShares(shares)
+				statsMu.Lock()
+				for i := range shares {
+					stats.LogicalShareBytes += int64(len(shares[i]))
+				}
+				statsMu.Unlock()
+				for i := range shares {
+					perCloud[i] <- shareItem{
+						seq:        job.seq,
+						fp:         fps[i],
+						data:       shares[i],
+						secretSize: uint32(len(job.data)),
+					}
+				}
+			}
+		}()
+	}
+
+	// One uploader per cloud (§4.6: one thread per cloud).
+	type cloudResult struct {
+		entries map[uint64]metadata.RecipeEntry
+	}
+	results := make([]cloudResult, c.opts.N)
+	var uploadWG sync.WaitGroup
+	for i := 0; i < c.opts.N; i++ {
+		results[i].entries = make(map[uint64]metadata.RecipeEntry)
+		uploadWG.Add(1)
+		go func(cloud int) {
+			defer uploadWG.Done()
+			up := newUploader(c, c.conns[cloud], stats, &statsMu)
+			for item := range perCloud[cloud] {
+				results[cloud].entries[item.seq] = metadata.RecipeEntry{
+					ShareFP:    item.fp,
+					ShareSize:  uint32(len(item.data)),
+					SecretSize: item.secretSize,
+				}
+				if err := up.add(item); err != nil {
+					errCh <- fmt.Errorf("cloud %d upload: %w", cloud, err)
+					// Drain to let encoders finish.
+					for range perCloud[cloud] {
+					}
+					return
+				}
+			}
+			if err := up.flush(); err != nil {
+				errCh <- fmt.Errorf("cloud %d flush: %w", cloud, err)
+			}
+		}(i)
+	}
+
+	// Pull secrets from the chunk source.
+	var seq uint64
+	var chunkErr error
+	for {
+		data, err := source.NextChunk()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			chunkErr = err
+			break
+		}
+		statsMu.Lock()
+		stats.LogicalBytes += int64(len(data))
+		stats.Secrets++
+		statsMu.Unlock()
+		jobs <- secretJob{seq: seq, data: data}
+		seq++
+	}
+	close(jobs)
+	encodeWG.Wait()
+	for i := range perCloud {
+		close(perCloud[i])
+	}
+	uploadWG.Wait()
+	close(errCh)
+	if chunkErr != nil {
+		return nil, chunkErr
+	}
+	for err := range errCh {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Build and upload the per-cloud recipes (the recipe at cloud i lists
+	// the fingerprints of the shares stored at cloud i). The path each
+	// cloud sees may be an opaque dispersed encoding (§4.3).
+	numSecrets := seq
+	for i := 0; i < c.opts.N; i++ {
+		cloudPath, err := c.pathForCloud(i, path)
+		if err != nil {
+			return nil, err
+		}
+		recipe := &metadata.Recipe{
+			FileMeta: metadata.FileMeta{
+				Path:       cloudPath,
+				FileSize:   uint64(stats.LogicalBytes),
+				NumSecrets: numSecrets,
+			},
+			Entries: make([]metadata.RecipeEntry, numSecrets),
+		}
+		for s := uint64(0); s < numSecrets; s++ {
+			e, ok := results[i].entries[s]
+			if !ok {
+				return nil, fmt.Errorf("client: cloud %d missing recipe entry for secret %d", i, s)
+			}
+			recipe.Entries[s] = e
+		}
+		if _, err := c.conns[i].call(protocol.MsgPutRecipe, recipe.Marshal(), protocol.MsgPutOK); err != nil {
+			return nil, fmt.Errorf("cloud %d recipe: %w", i, err)
+		}
+	}
+	return stats, nil
+}
+
+// uploader batches intra-user dedup queries and share uploads for one
+// cloud connection.
+type uploader struct {
+	c       *Client
+	cc      *cloudConn
+	stats   *BackupStats
+	statsMu *sync.Mutex
+
+	pending      []shareItem
+	pendingBytes int
+	// seen tracks fingerprints already handled this session, so a share
+	// repeated within one backup is sent at most once.
+	seen map[metadata.Fingerprint]bool
+}
+
+func newUploader(c *Client, cc *cloudConn, stats *BackupStats, mu *sync.Mutex) *uploader {
+	return &uploader{c: c, cc: cc, stats: stats, statsMu: mu, seen: make(map[metadata.Fingerprint]bool)}
+}
+
+func (u *uploader) add(item shareItem) error {
+	if u.seen[item.fp] {
+		u.statsMu.Lock()
+		u.stats.SharesSkipped++
+		u.statsMu.Unlock()
+		return nil
+	}
+	u.seen[item.fp] = true
+	u.pending = append(u.pending, item)
+	u.pendingBytes += len(item.data)
+	if u.pendingBytes >= protocol.BatchBytes || len(u.pending) >= u.c.opts.BatchShares {
+		return u.flush()
+	}
+	return nil
+}
+
+// flush runs one query/upload round: ask the server which pending
+// fingerprints this user already owns, then upload only the rest (§3.3
+// intra-user deduplication).
+func (u *uploader) flush() error {
+	if len(u.pending) == 0 {
+		return nil
+	}
+	fps := make([]metadata.Fingerprint, len(u.pending))
+	for i := range u.pending {
+		fps[i] = u.pending[i].fp
+	}
+	reply, err := u.cc.call(protocol.MsgQuery, protocol.EncodeFingerprints(fps), protocol.MsgQueryResult)
+	if err != nil {
+		return err
+	}
+	owned, err := protocol.DecodeBitmap(reply)
+	if err != nil {
+		return err
+	}
+	if len(owned) != len(u.pending) {
+		return fmt.Errorf("client: dedup reply length %d != %d", len(owned), len(u.pending))
+	}
+	var batch []protocol.ShareUpload
+	sent, sentBytes, skipped := 0, int64(0), 0
+	for i := range u.pending {
+		if owned[i] {
+			skipped++
+			continue
+		}
+		batch = append(batch, protocol.ShareUpload{
+			SecretSeq:  u.pending[i].seq,
+			SecretSize: u.pending[i].secretSize,
+			Data:       u.pending[i].data,
+		})
+		sent++
+		sentBytes += int64(len(u.pending[i].data))
+	}
+	if len(batch) > 0 {
+		if _, err := u.cc.call(protocol.MsgPutShares, protocol.EncodeShareBatch(batch), protocol.MsgPutOK); err != nil {
+			return err
+		}
+	}
+	u.statsMu.Lock()
+	u.stats.SharesSent += int64(sent)
+	u.stats.SharesSkipped += int64(skipped)
+	u.stats.TransferredShareBytes += sentBytes
+	u.statsMu.Unlock()
+	u.pending = u.pending[:0]
+	u.pendingBytes = 0
+	return nil
+}

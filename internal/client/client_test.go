@@ -1,0 +1,167 @@
+package client
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+
+	"cdstore/internal/server"
+	"cdstore/internal/storage"
+)
+
+// pipeDialers builds n in-process servers and dialers over net.Pipe.
+func pipeDialers(t *testing.T, n, k int) []Dialer {
+	t.Helper()
+	dialers := make([]Dialer, n)
+	for i := 0; i < n; i++ {
+		srv, err := server.New(server.Config{
+			CloudIndex: i, N: n, K: k,
+			IndexDir: t.TempDir(),
+			Backend:  storage.NewMemory(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		dialers[i] = func() (net.Conn, error) {
+			a, b := net.Pipe()
+			go srv.ServeConn(a)
+			return b, nil
+		}
+	}
+	return dialers
+}
+
+func TestConnectValidation(t *testing.T) {
+	if _, err := Connect(Options{N: 3, K: 3}, nil); err == nil {
+		t.Fatal("n == k accepted")
+	}
+	if _, err := Connect(Options{N: 4, K: 3}, make([]Dialer, 2)); err == nil {
+		t.Fatal("wrong dialer count accepted")
+	}
+	// All-nil dialers: fewer than k clouds.
+	if _, err := Connect(Options{N: 4, K: 3}, make([]Dialer, 4)); err == nil {
+		t.Fatal("no reachable clouds accepted")
+	}
+}
+
+func TestConnectHandshakeMismatch(t *testing.T) {
+	// Server believes (n,k)=(4,3); client asks for (4,2): must fail fast.
+	dialers := pipeDialers(t, 4, 3)
+	if _, err := Connect(Options{UserID: 1, N: 4, K: 2}, dialers); err == nil {
+		t.Fatal("parameter mismatch not detected at handshake")
+	}
+}
+
+func TestBackupRestoreOverPipes(t *testing.T) {
+	dialers := pipeDialers(t, 4, 3)
+	c, err := Connect(Options{UserID: 1, N: 4, K: 3, EncodeThreads: 2}, dialers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	data := bytes.Repeat([]byte("cdstore pipes "), 20000) // ~280KB
+	stats, err := c.Backup("/pipe.tar", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LogicalBytes != int64(len(data)) {
+		t.Fatalf("LogicalBytes %d != %d", stats.LogicalBytes, len(data))
+	}
+	// Highly repetitive data dedups against itself within one backup:
+	// transferred < logical shares.
+	if stats.TransferredShareBytes >= stats.LogicalShareBytes {
+		t.Fatalf("no in-stream dedup: sent %d of %d", stats.TransferredShareBytes, stats.LogicalShareBytes)
+	}
+	var out bytes.Buffer
+	if _, err := c.Restore("/pipe.tar", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("restore mismatch")
+	}
+}
+
+func TestRestoreMissingFile(t *testing.T) {
+	dialers := pipeDialers(t, 4, 3)
+	c, err := Connect(Options{UserID: 1, N: 4, K: 3}, dialers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Restore("/never-backed-up", io.Discard); err == nil {
+		t.Fatal("restore of unknown file succeeded")
+	}
+}
+
+func TestBackupEmptyFile(t *testing.T) {
+	dialers := pipeDialers(t, 4, 3)
+	c, err := Connect(Options{UserID: 1, N: 4, K: 3}, dialers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stats, err := c.Backup("/empty.tar", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Secrets != 0 || stats.LogicalBytes != 0 {
+		t.Fatalf("empty backup stats: %+v", stats)
+	}
+	var out bytes.Buffer
+	rstats, err := c.Restore("/empty.tar", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rstats.Bytes != 0 || out.Len() != 0 {
+		t.Fatal("empty restore should produce no bytes")
+	}
+}
+
+func TestRepairParameterValidation(t *testing.T) {
+	dialers := pipeDialers(t, 4, 3)
+	c, err := Connect(Options{UserID: 1, N: 4, K: 3}, dialers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Repair("/x", -1); err == nil {
+		t.Fatal("negative cloud index accepted")
+	}
+	if _, err := c.Repair("/x", 4); err == nil {
+		t.Fatal("out-of-range cloud index accepted")
+	}
+}
+
+func TestSchemeDefaultsToCAONTRS(t *testing.T) {
+	dialers := pipeDialers(t, 4, 3)
+	c, err := Connect(Options{UserID: 1, N: 4, K: 3}, dialers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Scheme().Name() != "CAONT-RS" {
+		t.Fatalf("default scheme %s", c.Scheme().Name())
+	}
+	if got := c.AvailableClouds(); len(got) != 4 {
+		t.Fatalf("available clouds %v", got)
+	}
+}
+
+func TestPartialCloudConnect(t *testing.T) {
+	dialers := pipeDialers(t, 4, 3)
+	dialers[1] = nil // cloud 1 unreachable
+	c, err := Connect(Options{UserID: 1, N: 4, K: 3}, dialers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.AvailableClouds(); len(got) != 3 {
+		t.Fatalf("available %v, want 3 clouds", got)
+	}
+	// Backup must refuse without all clouds.
+	if _, err := c.Backup("/x", bytes.NewReader([]byte("data"))); err == nil {
+		t.Fatal("backup with missing cloud accepted")
+	}
+}

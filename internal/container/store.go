@@ -1,0 +1,209 @@
+package container
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"cdstore/internal/cache"
+	"cdstore/internal/metadata"
+	"cdstore/internal/storage"
+)
+
+// Store is the container module of one CDStore server: it maintains
+// per-user in-memory buffers for shares and recipes (§4.5 optimization 1),
+// flushes full containers to the storage backend, and serves reads through
+// an LRU container cache (§4.5 optimization 2).
+type Store struct {
+	mu         sync.Mutex
+	backend    storage.Backend
+	capacity   int
+	nextSeq    uint64
+	shareBufs  map[uint64]*Writer // keyed by user ID
+	recipeBufs map[uint64]*Writer
+	cached     *cache.LRU // name -> *Container
+}
+
+// StoreOptions configures a Store.
+type StoreOptions struct {
+	// Capacity caps container size in bytes (default 4MB).
+	Capacity int
+	// CacheBytes bounds the read cache (default 64MB).
+	CacheBytes int64
+}
+
+// NewStore opens a container store over a backend, recovering the naming
+// sequence from existing containers.
+func NewStore(backend storage.Backend, opts *StoreOptions) (*Store, error) {
+	capacity := DefaultCapacity
+	cacheBytes := int64(64 << 20)
+	if opts != nil {
+		if opts.Capacity > 0 {
+			capacity = opts.Capacity
+		}
+		if opts.CacheBytes > 0 {
+			cacheBytes = opts.CacheBytes
+		}
+	}
+	s := &Store{
+		backend:    backend,
+		capacity:   capacity,
+		shareBufs:  make(map[uint64]*Writer),
+		recipeBufs: make(map[uint64]*Writer),
+		cached:     cache.NewLRU(cacheBytes),
+	}
+	names, err := backend.List()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range names {
+		var seq uint64
+		if parseContainerName(n, &seq) && seq >= s.nextSeq {
+			s.nextSeq = seq + 1
+		}
+	}
+	return s, nil
+}
+
+func containerName(typ Type, userID, seq uint64) string {
+	return fmt.Sprintf("%s-u%d-%012d", typ, userID, seq)
+}
+
+func parseContainerName(name string, seq *uint64) bool {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return false
+	}
+	_, err := fmt.Sscanf(name[i+1:], "%d", seq)
+	return err == nil
+}
+
+// AddShare buffers a unique share for user and returns the name of the
+// container that will hold it. Full containers flush to the backend
+// automatically.
+func (s *Store) AddShare(userID uint64, fp metadata.Fingerprint, data []byte) (string, error) {
+	return s.add(s.shareBufs, ShareContainer, userID, fp, data)
+}
+
+// AddRecipe buffers a file recipe keyed by its file key.
+func (s *Store) AddRecipe(userID uint64, fileKey metadata.Fingerprint, recipe []byte) (string, error) {
+	return s.add(s.recipeBufs, RecipeContainer, userID, fileKey, recipe)
+}
+
+func (s *Store) add(bufs map[uint64]*Writer, typ Type, userID uint64, key metadata.Fingerprint, data []byte) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := bufs[userID]
+	if w == nil || !w.Fits(len(data)) {
+		if w != nil {
+			if err := s.flushLocked(w); err != nil {
+				return "", err
+			}
+		}
+		w = NewWriter(containerName(typ, userID, s.nextSeq), typ, userID, s.capacity)
+		s.nextSeq++
+		bufs[userID] = w
+	}
+	name := w.Name()
+	if err := w.Add(key, data); err != nil {
+		return "", err
+	}
+	if w.Full() {
+		if err := s.flushLocked(w); err != nil {
+			return "", err
+		}
+		delete(bufs, userID)
+	}
+	return name, nil
+}
+
+// flushLocked seals and persists a writer. Caller holds s.mu.
+func (s *Store) flushLocked(w *Writer) error {
+	if w.Len() == 0 {
+		return nil
+	}
+	c := w.Seal()
+	data := c.Marshal()
+	if err := s.backend.Put(c.Name, data); err != nil {
+		return err
+	}
+	s.cached.AddCharged(c.Name, c, int64(len(data)))
+	return nil
+}
+
+// Flush persists every open buffer (called before serving restores and on
+// shutdown).
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for u, w := range s.shareBufs {
+		if err := s.flushLocked(w); err != nil {
+			return err
+		}
+		delete(s.shareBufs, u)
+	}
+	for u, w := range s.recipeBufs {
+		if err := s.flushLocked(w); err != nil {
+			return err
+		}
+		delete(s.recipeBufs, u)
+	}
+	return nil
+}
+
+// get fetches a container: open buffers first, then the cache, then the
+// backend.
+func (s *Store) get(name string) (*Container, error) {
+	s.mu.Lock()
+	for _, bufs := range []map[uint64]*Writer{s.shareBufs, s.recipeBufs} {
+		for _, w := range bufs {
+			if w.Name() == name {
+				c := w.Seal()
+				s.mu.Unlock()
+				return c, nil
+			}
+		}
+	}
+	s.mu.Unlock()
+	if v, ok := s.cached.Get(name); ok {
+		return v.(*Container), nil
+	}
+	raw, err := s.backend.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Unmarshal(name, raw)
+	if err != nil {
+		return nil, err
+	}
+	s.cached.AddCharged(name, c, int64(len(raw)))
+	return c, nil
+}
+
+// GetEntry returns the data stored for key inside the named container.
+func (s *Store) GetEntry(name string, key metadata.Fingerprint) ([]byte, error) {
+	c, err := s.get(name)
+	if err != nil {
+		return nil, err
+	}
+	data := c.Find(key)
+	if data == nil {
+		return nil, fmt.Errorf("container: %s has no entry %s", name, key)
+	}
+	return data, nil
+}
+
+// GetContainer returns a parsed container by name (used by repair).
+func (s *Store) GetContainer(name string) (*Container, error) { return s.get(name) }
+
+// Delete removes a container from backend and cache (garbage collection).
+func (s *Store) Delete(name string) error {
+	s.cached.Remove(name)
+	return s.backend.Delete(name)
+}
+
+// CacheStats exposes the read cache hit/miss counters.
+func (s *Store) CacheStats() (hits, misses uint64) { return s.cached.Stats() }
+
+// DropCache empties the read cache (cold-read experiments, tests).
+func (s *Store) DropCache() { s.cached.Purge() }

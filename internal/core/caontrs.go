@@ -1,0 +1,193 @@
+// Package core implements convergent dispersal, the CDStore paper's
+// primary contribution (§3.2): secret sharing whose embedded randomness is
+// replaced by a deterministic cryptographic hash of the secret, so that
+// identical secrets always produce identical shares and deduplication
+// becomes possible — while an attacker holding fewer than k shares can
+// infer neither the secret nor the hash.
+//
+// Two instantiations are provided:
+//
+//   - CAONTRS — the paper's new scheme: OAEP-based AONT keyed with
+//     h = H(X), followed by systematic Reed-Solomon coding. One bulk AES
+//     pass per secret.
+//
+//   - CAONTRSRivest — the prior HotStorage '14 instantiation: AONT-RS
+//     with its random key replaced by H(X). One AES invocation per
+//     16-byte word; the baseline CAONT-RS beats in Figure 5.
+//
+// Both satisfy secretshare.Scheme, and both guarantee the placement
+// invariant CDStore relies on: share i of a secret is always stored on
+// cloud i, so equal secrets dedup inside every cloud.
+package core
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+
+	"cdstore/internal/aont"
+	"cdstore/internal/reedsolomon"
+	"cdstore/internal/secretshare"
+)
+
+// HashSize is the size of the convergent hash key (SHA-256).
+const HashSize = sha256.Size
+
+// CAONTRS is the paper's CAONT-RS scheme: convergent OAEP-based AONT plus
+// systematic Reed-Solomon codes. It is deterministic: Split depends only
+// on the secret content (and the optional salt), never on randomness.
+type CAONTRS struct {
+	n, k  int
+	salt  []byte
+	codec *reedsolomon.Codec
+}
+
+// NewCAONTRS constructs an (n, k) CAONT-RS scheme with no salt.
+func NewCAONTRS(n, k int) (*CAONTRS, error) { return NewCAONTRSWithSalt(n, k, nil) }
+
+// NewCAONTRSWithSalt constructs an (n, k) CAONT-RS scheme whose hash key
+// is salted (§3.2: "a (optionally salted) hash function"). All clients of
+// one organization must share the salt or deduplication breaks; distinct
+// organizations can use distinct salts to defeat cross-tenant dictionary
+// probing.
+func NewCAONTRSWithSalt(n, k int, salt []byte) (*CAONTRS, error) {
+	c, err := reedsolomon.New(n, k)
+	if err != nil {
+		return nil, err
+	}
+	return &CAONTRS{n: n, k: k, salt: append([]byte(nil), salt...), codec: c}, nil
+}
+
+// Name implements secretshare.Scheme.
+func (c *CAONTRS) Name() string { return "CAONT-RS" }
+
+// N implements secretshare.Scheme.
+func (c *CAONTRS) N() int { return c.n }
+
+// K implements secretshare.Scheme.
+func (c *CAONTRS) K() int { return c.k }
+
+// R implements secretshare.Scheme: computational confidentiality of
+// degree k-1, inherited from AONT-RS.
+func (c *CAONTRS) R() int { return c.k - 1 }
+
+// paddedSecretSize returns the secret length after zero padding such that
+// the CAONT package (padded secret + 32-byte tail) divides evenly into k
+// shares (§3.2: "we pad zeroes to the secret if necessary").
+func (c *CAONTRS) paddedSecretSize(secretSize int) int {
+	pkg := secretSize + HashSize
+	shareSize := (pkg + c.k - 1) / c.k
+	return shareSize*c.k - HashSize
+}
+
+// ShareSize implements secretshare.Scheme.
+func (c *CAONTRS) ShareSize(secretSize int) int {
+	return (c.paddedSecretSize(secretSize) + HashSize) / c.k
+}
+
+// hashKey derives the convergent key h = H(salt || X) over the padded
+// secret. With a salt this is HMAC-SHA-256 keyed by the salt, else plain
+// SHA-256 — both deterministic in the content.
+func (c *CAONTRS) hashKey(padded []byte) []byte {
+	if len(c.salt) == 0 {
+		h := sha256.Sum256(padded)
+		return h[:]
+	}
+	m := hmac.New(sha256.New, c.salt)
+	m.Write(padded)
+	return m.Sum(nil)
+}
+
+// Split implements secretshare.Scheme: Figure 3's encoding pipeline.
+func (c *CAONTRS) Split(secret []byte) ([][]byte, error) {
+	if len(secret) == 0 {
+		return nil, secretshare.ErrEmptySecret
+	}
+	padded := secret
+	if p := c.paddedSecretSize(len(secret)); p != len(secret) {
+		padded = make([]byte, p)
+		copy(padded, secret)
+	}
+	h := c.hashKey(padded)
+	pkg, err := aont.PackageOAEP(padded, h)
+	if err != nil {
+		return nil, err
+	}
+	shards := c.codec.Split(pkg)
+	if err := c.codec.Encode(shards); err != nil {
+		return nil, err
+	}
+	return shards, nil
+}
+
+// Combine implements secretshare.Scheme: Figure 3's decoding pipeline,
+// including the integrity check H(X) == h. A failed check returns
+// secretshare.ErrCorrupt so callers can retry with a different k-subset
+// of shares (the brute-force recovery of §3.2).
+func (c *CAONTRS) Combine(shares map[int][]byte, secretSize int) ([]byte, error) {
+	idxs, size, err := checkShareMap(shares, c.n, c.k)
+	if err != nil {
+		return nil, err
+	}
+	if size != c.ShareSize(secretSize) {
+		return nil, fmt.Errorf("%w: share size %d inconsistent with secret size %d",
+			secretshare.ErrShareSize, size, secretSize)
+	}
+	have := make(map[int][]byte, c.k)
+	for _, i := range idxs {
+		have[i] = shares[i]
+	}
+	data, err := c.codec.ReconstructData(have)
+	if err != nil {
+		return nil, err
+	}
+	paddedSize := c.paddedSecretSize(secretSize)
+	pkg, err := c.codec.Join(data, paddedSize+HashSize)
+	if err != nil {
+		return nil, err
+	}
+	padded, h, err := aont.UnpackOAEP(pkg)
+	if err != nil {
+		return nil, err
+	}
+	if !hmac.Equal(c.hashKey(padded), h) {
+		return nil, secretshare.ErrCorrupt
+	}
+	for _, b := range padded[secretSize:] {
+		if b != 0 {
+			return nil, secretshare.ErrCorrupt
+		}
+	}
+	return padded[:secretSize:secretSize], nil
+}
+
+// checkShareMap mirrors secretshare's internal validation for use by the
+// convergent schemes.
+func checkShareMap(shares map[int][]byte, n, k int) ([]int, int, error) {
+	idxs := make([]int, 0, len(shares))
+	for i := range shares {
+		if i < 0 || i >= n {
+			return nil, 0, fmt.Errorf("%w: %d", secretshare.ErrBadIndex, i)
+		}
+		idxs = append(idxs, i)
+	}
+	if len(idxs) < k {
+		return nil, 0, secretshare.ErrTooFewShares
+	}
+	for i := 1; i < len(idxs); i++ {
+		for j := i; j > 0 && idxs[j-1] > idxs[j]; j-- {
+			idxs[j-1], idxs[j] = idxs[j], idxs[j-1]
+		}
+	}
+	idxs = idxs[:k]
+	size := -1
+	for _, i := range idxs {
+		if size == -1 {
+			size = len(shares[i])
+		}
+		if len(shares[i]) != size || size == 0 {
+			return nil, 0, secretshare.ErrShareSize
+		}
+	}
+	return idxs, size, nil
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+
+	"cdstore/internal/secretshare"
+)
+
+// CAONTRSRivest is the prior convergent-dispersal instantiation from the
+// authors' HotStorage '14 paper: AONT-RS (Rivest's package transform +
+// Reed-Solomon) with the random key replaced by the SHA-256 hash of the
+// secret. CDStore's evaluation (Figure 5) uses it as the baseline that
+// the OAEP-based CAONT-RS outperforms, because Rivest's transform pays
+// one AES invocation per 16-byte word.
+type CAONTRSRivest struct {
+	n, k  int
+	salt  []byte
+	inner *secretshare.AONTRS
+}
+
+// NewCAONTRSRivest constructs an (n, k) CAONT-RS-Rivest scheme.
+func NewCAONTRSRivest(n, k int) (*CAONTRSRivest, error) {
+	return NewCAONTRSRivestWithSalt(n, k, nil)
+}
+
+// NewCAONTRSRivestWithSalt constructs the scheme with a salted hash key.
+func NewCAONTRSRivestWithSalt(n, k int, salt []byte) (*CAONTRSRivest, error) {
+	inner, err := secretshare.NewAONTRS(n, k)
+	if err != nil {
+		return nil, err
+	}
+	return &CAONTRSRivest{n: n, k: k, salt: append([]byte(nil), salt...), inner: inner}, nil
+}
+
+// Name implements secretshare.Scheme.
+func (c *CAONTRSRivest) Name() string { return "CAONT-RS-Rivest" }
+
+// N implements secretshare.Scheme.
+func (c *CAONTRSRivest) N() int { return c.n }
+
+// K implements secretshare.Scheme.
+func (c *CAONTRSRivest) K() int { return c.k }
+
+// R implements secretshare.Scheme.
+func (c *CAONTRSRivest) R() int { return c.k - 1 }
+
+// ShareSize implements secretshare.Scheme.
+func (c *CAONTRSRivest) ShareSize(secretSize int) int { return c.inner.ShareSize(secretSize) }
+
+// hashKey derives the convergent package key from the secret content.
+func (c *CAONTRSRivest) hashKey(secret []byte) []byte {
+	if len(c.salt) == 0 {
+		h := sha256.Sum256(secret)
+		return h[:]
+	}
+	m := hmac.New(sha256.New, c.salt)
+	m.Write(secret)
+	return m.Sum(nil)
+}
+
+// Split implements secretshare.Scheme deterministically.
+func (c *CAONTRSRivest) Split(secret []byte) ([][]byte, error) {
+	if len(secret) == 0 {
+		return nil, secretshare.ErrEmptySecret
+	}
+	return c.inner.SplitWithKey(secret, c.hashKey(secret))
+}
+
+// Combine implements secretshare.Scheme. Beyond the Rivest canary it also
+// verifies the convergent property key == H(secret), the integrity check
+// of Equation (1).
+func (c *CAONTRSRivest) Combine(shares map[int][]byte, secretSize int) ([]byte, error) {
+	secret, key, err := c.inner.CombineWithKey(shares, secretSize)
+	if err != nil {
+		return nil, err
+	}
+	if !hmac.Equal(c.hashKey(secret), key) {
+		return nil, secretshare.ErrCorrupt
+	}
+	return secret, nil
+}

@@ -1,0 +1,159 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestS3TieredPricing(t *testing.T) {
+	// 100GB entirely in the first tier.
+	if got := S3MonthlyCost(100, S3Tiers2014); math.Abs(got-100*0.0300) > 1e-9 {
+		t.Fatalf("100GB = $%.4f, want $%.4f", got, 100*0.0300)
+	}
+	// 2TB spans tiers 1 and 2.
+	want := 1000*0.0300 + 1000*0.0295
+	if got := S3MonthlyCost(2*TB, S3Tiers2014); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("2TB = $%.4f, want $%.4f", got, want)
+	}
+	// Zero storage costs nothing.
+	if got := S3MonthlyCost(0, S3Tiers2014); got != 0 {
+		t.Fatalf("0GB = $%.4f", got)
+	}
+	// Huge volumes hit the unbounded tier without panicking.
+	if got := S3MonthlyCost(10_000*TB, S3Tiers2014); got <= 0 {
+		t.Fatal("10PB cost non-positive")
+	}
+	// ~$30/TB as the paper states.
+	perTB := S3MonthlyCost(16*TB, S3Tiers2014) / 16
+	if perTB < 28 || perTB > 31 {
+		t.Fatalf("$%.2f per TB-month; paper says ~$30", perTB)
+	}
+}
+
+func TestCheapestInstance(t *testing.T) {
+	inst, err := CheapestInstance(10, Catalog2014)
+	if err != nil || inst.Name != "c3.large" {
+		t.Fatalf("10GB -> %s, %v; want c3.large", inst.Name, err)
+	}
+	inst, err = CheapestInstance(700, Catalog2014)
+	if err != nil || inst.Name != "i2.xlarge" {
+		t.Fatalf("700GB -> %s, %v; want i2.xlarge (cheaper than c3.8xlarge won't fit)", inst.Name, err)
+	}
+	if _, err := CheapestInstance(1e9, Catalog2014); err == nil {
+		t.Fatal("absurd index size should not fit any instance")
+	}
+}
+
+func TestPaperCaseStudy16TB(t *testing.T) {
+	// §5.6: 16TB weekly, dedup 10x, (4,3), 26 weeks. The paper reports
+	// roughly: single-cloud ~$12,250/mo, AONT-RS ~$16,400/mo, CDStore
+	// ~$3,540/mo (VMs ~$660), i.e. ~70%+ saving vs AONT-RS.
+	r, err := Analyze(Params{WeeklyBackupGB: 16 * TB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SingleCloudUSD < 10000 || r.SingleCloudUSD > 14500 {
+		t.Errorf("single cloud $%.0f outside [10000, 14500]", r.SingleCloudUSD)
+	}
+	if r.AONTRSUSD < 14000 || r.AONTRSUSD > 18500 {
+		t.Errorf("AONT-RS $%.0f outside [14000, 18500]", r.AONTRSUSD)
+	}
+	if r.CDStoreTotalUSD < 2000 || r.CDStoreTotalUSD > 5000 {
+		t.Errorf("CDStore $%.0f outside [2000, 5000]", r.CDStoreTotalUSD)
+	}
+	if r.SavingVsAONTRS < 0.70 {
+		t.Errorf("saving vs AONT-RS %.1f%%, paper reports >=70%%", 100*r.SavingVsAONTRS)
+	}
+	if r.SavingVsSingle < 0.60 {
+		t.Errorf("saving vs single cloud %.1f%%, paper reports ~70%%", 100*r.SavingVsSingle)
+	}
+	// Saving vs AONT-RS must exceed saving vs single cloud (§5.6: the
+	// former carries dispersal redundancy).
+	if r.SavingVsAONTRS <= r.SavingVsSingle {
+		t.Errorf("saving ordering wrong: vsAONTRS=%.3f vsSingle=%.3f", r.SavingVsAONTRS, r.SavingVsSingle)
+	}
+}
+
+func TestSavingGrowsWithDedupRatio(t *testing.T) {
+	// Figure 9(b): saving increases with the dedup ratio, 70-80% for
+	// ratios 10-50 at 16TB weekly.
+	prev := -1.0
+	for _, ratio := range []float64{1, 2, 5, 10, 20, 50} {
+		r, err := Analyze(Params{WeeklyBackupGB: 16 * TB, DedupRatio: ratio})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.SavingVsAONTRS < prev-0.01 {
+			t.Errorf("saving not monotone at ratio %.0f: %.3f after %.3f", ratio, r.SavingVsAONTRS, prev)
+		}
+		prev = r.SavingVsAONTRS
+		if ratio >= 10 && (r.SavingVsAONTRS < 0.68 || r.SavingVsAONTRS > 0.90) {
+			t.Errorf("ratio %.0f: saving %.1f%% outside the paper's 70-80%% band (±2)", ratio, 100*r.SavingVsAONTRS)
+		}
+	}
+}
+
+func TestSavingGrowsWithWeeklySizeThenFlattens(t *testing.T) {
+	// Figure 9(a): savings increase with weekly size; growth slows at
+	// large sizes as recipe overhead bites.
+	sizes := []float64{0.25 * TB, 1 * TB, 4 * TB, 16 * TB, 64 * TB, 256 * TB}
+	savings := make([]float64, len(sizes))
+	for i, s := range sizes {
+		r, err := Analyze(Params{WeeklyBackupGB: s})
+		if err != nil {
+			t.Fatalf("size %.2fTB: %v", s/TB, err)
+		}
+		savings[i] = r.SavingVsAONTRS
+	}
+	if savings[3] <= savings[0] {
+		t.Errorf("saving at 16TB (%.3f) not above saving at 0.25TB (%.3f)", savings[3], savings[0])
+	}
+	// Increments shrink toward the tail.
+	firstGain := savings[1] - savings[0]
+	lastGain := savings[5] - savings[4]
+	if lastGain > firstGain {
+		t.Errorf("saving growth should slow: first gain %.4f, last gain %.4f", firstGain, lastGain)
+	}
+}
+
+func TestVMCostVisibleAtSmallScale(t *testing.T) {
+	// At tiny weekly sizes the fixed VM cost dominates and savings are
+	// much lower (the rising left edge of Figure 9(a)).
+	small, err := Analyze(Params{WeeklyBackupGB: 0.25 * TB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Analyze(Params{WeeklyBackupGB: 64 * TB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.SavingVsAONTRS >= big.SavingVsAONTRS {
+		t.Errorf("small-scale saving %.3f should be below large-scale %.3f", small.SavingVsAONTRS, big.SavingVsAONTRS)
+	}
+	if small.CDStoreVMUSD != 4*62 {
+		t.Errorf("small deployment VM cost $%.0f, want 4 x c3.large", small.CDStoreVMUSD)
+	}
+}
+
+func TestInstanceSwitchingAtScale(t *testing.T) {
+	// Bigger indices force bigger instances (the jagged curve of §5.6).
+	small, _ := Analyze(Params{WeeklyBackupGB: 1 * TB})
+	large, _ := Analyze(Params{WeeklyBackupGB: 256 * TB})
+	if small.InstanceName == large.InstanceName {
+		t.Errorf("instance should switch between 1TB (%s) and 256TB (%s) weekly", small.InstanceName, large.InstanceName)
+	}
+}
+
+func TestResultComponentsAddUp(t *testing.T) {
+	r, err := Analyze(Params{WeeklyBackupGB: 16 * TB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := r.CDStoreVMUSD + r.CDStoreStorageUSD + r.CDStoreRecipeUSD
+	if math.Abs(sum-r.CDStoreTotalUSD) > 1e-6 {
+		t.Fatalf("components %.2f != total %.2f", sum, r.CDStoreTotalUSD)
+	}
+	if r.PhysicalGB <= 0 || r.RecipeGB <= 0 || r.IndexGBPerCloud <= 0 {
+		t.Fatalf("volumes not populated: %+v", r)
+	}
+}

@@ -1,0 +1,280 @@
+// Package index implements the CDStore server's index module (§4.4): a
+// file index and a share index persisted in the embedded LSM key-value
+// store (internal/lsmkv, the LevelDB stand-in).
+//
+// The share index is keyed by the *server-computed* share fingerprint and
+// records the container holding the share plus, per owning user, a
+// reference count (supporting intra-user deduplication decisions and
+// deletion). The file index is keyed by the hash of (user, full
+// pathname) and records the reference to the file recipe.
+package index
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"cdstore/internal/lsmkv"
+	"cdstore/internal/metadata"
+)
+
+// Key prefixes inside the shared lsmkv store.
+const (
+	sharePrefix = "s/"
+	filePrefix  = "f/"
+)
+
+// ShareEntry describes one globally unique share (§4.4).
+type ShareEntry struct {
+	Fingerprint metadata.Fingerprint
+	Container   string // container reference
+	Size        uint32
+	// Refs maps owning user ID -> reference count.
+	Refs map[uint64]uint32
+}
+
+// FileEntry describes one uploaded file of one user.
+type FileEntry struct {
+	UserID          uint64
+	Path            string // full pathname (possibly client-encoded)
+	FileSize        uint64
+	NumSecrets      uint64
+	RecipeContainer string // container holding the file recipe
+}
+
+// Index wraps the LSM store with the two CDStore indices.
+type Index struct {
+	db *lsmkv.DB
+}
+
+// ErrNotFound is returned for absent entries.
+var ErrNotFound = errors.New("index: entry not found")
+
+// Open opens (or creates) the index database in dir.
+func Open(dir string) (*Index, error) {
+	db, err := lsmkv.Open(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{db: db}, nil
+}
+
+// Close releases the underlying store.
+func (ix *Index) Close() error { return ix.db.Close() }
+
+// Flush persists in-memory state (snapshot-friendly checkpoint).
+func (ix *Index) Flush() error { return ix.db.Flush() }
+
+func shareKey(fp metadata.Fingerprint) []byte {
+	return append([]byte(sharePrefix), fp[:]...)
+}
+
+func fileKey(userID uint64, path string) []byte {
+	fk := metadata.FileKey(userID, path)
+	key := make([]byte, 0, len(filePrefix)+8+len(fk))
+	key = append(key, filePrefix...)
+	key = binary.BigEndian.AppendUint64(key, userID)
+	key = append(key, fk[:]...)
+	return key
+}
+
+// --- share entry codec ---
+
+func marshalShareEntry(e *ShareEntry) []byte {
+	out := make([]byte, 0, 4+len(e.Container)+4+4+len(e.Refs)*12)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(e.Container)))
+	out = append(out, e.Container...)
+	out = binary.BigEndian.AppendUint32(out, e.Size)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(e.Refs)))
+	for u, c := range e.Refs {
+		out = binary.BigEndian.AppendUint64(out, u)
+		out = binary.BigEndian.AppendUint32(out, c)
+	}
+	return out
+}
+
+func unmarshalShareEntry(fp metadata.Fingerprint, src []byte) (*ShareEntry, error) {
+	if len(src) < 12 {
+		return nil, fmt.Errorf("index: short share entry")
+	}
+	clen := int(binary.BigEndian.Uint32(src))
+	p := 4
+	if p+clen+8 > len(src) {
+		return nil, fmt.Errorf("index: corrupt share entry")
+	}
+	e := &ShareEntry{Fingerprint: fp, Container: string(src[p : p+clen])}
+	p += clen
+	e.Size = binary.BigEndian.Uint32(src[p:])
+	count := int(binary.BigEndian.Uint32(src[p+4:]))
+	p += 8
+	if len(src)-p != count*12 {
+		return nil, fmt.Errorf("index: corrupt share refs")
+	}
+	e.Refs = make(map[uint64]uint32, count)
+	for i := 0; i < count; i++ {
+		u := binary.BigEndian.Uint64(src[p:])
+		c := binary.BigEndian.Uint32(src[p+8:])
+		e.Refs[u] = c
+		p += 12
+	}
+	return e, nil
+}
+
+// --- file entry codec ---
+
+func marshalFileEntry(e *FileEntry) []byte {
+	out := make([]byte, 0, 8+4+len(e.Path)+8+8+4+len(e.RecipeContainer))
+	out = binary.BigEndian.AppendUint64(out, e.UserID)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(e.Path)))
+	out = append(out, e.Path...)
+	out = binary.BigEndian.AppendUint64(out, e.FileSize)
+	out = binary.BigEndian.AppendUint64(out, e.NumSecrets)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(e.RecipeContainer)))
+	out = append(out, e.RecipeContainer...)
+	return out
+}
+
+func unmarshalFileEntry(src []byte) (*FileEntry, error) {
+	if len(src) < 12 {
+		return nil, fmt.Errorf("index: short file entry")
+	}
+	e := &FileEntry{UserID: binary.BigEndian.Uint64(src)}
+	p := 8
+	plen := int(binary.BigEndian.Uint32(src[p:]))
+	p += 4
+	if p+plen+20 > len(src) {
+		return nil, fmt.Errorf("index: corrupt file entry")
+	}
+	e.Path = string(src[p : p+plen])
+	p += plen
+	e.FileSize = binary.BigEndian.Uint64(src[p:])
+	e.NumSecrets = binary.BigEndian.Uint64(src[p+8:])
+	rlen := int(binary.BigEndian.Uint32(src[p+16:]))
+	p += 20
+	if p+rlen != len(src) {
+		return nil, fmt.Errorf("index: corrupt file entry tail")
+	}
+	e.RecipeContainer = string(src[p:])
+	return e, nil
+}
+
+// --- share index operations ---
+
+// LookupShare returns the entry for fp, or ErrNotFound.
+func (ix *Index) LookupShare(fp metadata.Fingerprint) (*ShareEntry, error) {
+	v, err := ix.db.Get(shareKey(fp))
+	if err == lsmkv.ErrNotFound {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	return unmarshalShareEntry(fp, v)
+}
+
+// PutShare stores or replaces the entry.
+func (ix *Index) PutShare(e *ShareEntry) error {
+	return ix.db.Put(shareKey(e.Fingerprint), marshalShareEntry(e))
+}
+
+// ShareOwnedBy answers the intra-user deduplication query: does this user
+// already own a share with this fingerprint? The answer depends only on
+// the querying user's own uploads — never on other users' state — which
+// is what makes the reply side-channel free (§3.3).
+func (ix *Index) ShareOwnedBy(fp metadata.Fingerprint, userID uint64) (bool, error) {
+	e, err := ix.LookupShare(fp)
+	if err == ErrNotFound {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	_, ok := e.Refs[userID]
+	return ok, nil
+}
+
+// AddShareRef increments user's reference count on fp (which must exist).
+func (ix *Index) AddShareRef(fp metadata.Fingerprint, userID uint64) error {
+	e, err := ix.LookupShare(fp)
+	if err != nil {
+		return err
+	}
+	e.Refs[userID]++
+	return ix.PutShare(e)
+}
+
+// ReleaseShareRef decrements user's reference count, dropping the user at
+// zero. It returns the remaining total reference count across all users;
+// at zero the caller may garbage-collect the share's container space.
+func (ix *Index) ReleaseShareRef(fp metadata.Fingerprint, userID uint64) (int, error) {
+	e, err := ix.LookupShare(fp)
+	if err != nil {
+		return 0, err
+	}
+	if c, ok := e.Refs[userID]; ok {
+		if c <= 1 {
+			delete(e.Refs, userID)
+		} else {
+			e.Refs[userID] = c - 1
+		}
+	}
+	total := 0
+	for _, c := range e.Refs {
+		total += int(c)
+	}
+	if len(e.Refs) == 0 {
+		if err := ix.db.Delete(shareKey(fp)); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	return total, ix.PutShare(e)
+}
+
+// --- file index operations ---
+
+// PutFile stores or replaces a file entry.
+func (ix *Index) PutFile(e *FileEntry) error {
+	return ix.db.Put(fileKey(e.UserID, e.Path), marshalFileEntry(e))
+}
+
+// LookupFile returns the entry for (userID, path), or ErrNotFound.
+func (ix *Index) LookupFile(userID uint64, path string) (*FileEntry, error) {
+	v, err := ix.db.Get(fileKey(userID, path))
+	if err == lsmkv.ErrNotFound {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	return unmarshalFileEntry(v)
+}
+
+// DeleteFile removes the entry for (userID, path).
+func (ix *Index) DeleteFile(userID uint64, path string) error {
+	return ix.db.Delete(fileKey(userID, path))
+}
+
+// ListFiles returns every file entry of one user, ordered by file key.
+func (ix *Index) ListFiles(userID uint64) ([]*FileEntry, error) {
+	prefix := make([]byte, 0, len(filePrefix)+8)
+	prefix = append(prefix, filePrefix...)
+	prefix = binary.BigEndian.AppendUint64(prefix, userID)
+	var out []*FileEntry
+	err := ix.db.Scan(prefix, func(_, v []byte) error {
+		e, err := unmarshalFileEntry(v)
+		if err != nil {
+			return err
+		}
+		out = append(out, e)
+		return nil
+	})
+	return out, err
+}
+
+// CountShares returns the number of unique shares indexed (stats helper).
+func (ix *Index) CountShares() (int, error) {
+	n := 0
+	err := ix.db.Scan([]byte(sharePrefix), func(_, _ []byte) error { n++; return nil })
+	return n, err
+}

@@ -1,0 +1,35 @@
+package index
+
+import (
+	"cdstore/internal/metadata"
+)
+
+// ScanShares visits every share entry (garbage collection support).
+// fn must not mutate the index (see lsmkv.DB.Scan's locking contract);
+// collect entries during the scan and write after it returns.
+func (ix *Index) ScanShares(fn func(*ShareEntry) error) error {
+	return ix.db.Scan([]byte(sharePrefix), func(k, v []byte) error {
+		var fp metadata.Fingerprint
+		copy(fp[:], k[len(sharePrefix):])
+		e, err := unmarshalShareEntry(fp, v)
+		if err != nil {
+			return err
+		}
+		return fn(e)
+	})
+}
+
+// ScanFiles visits every file entry of every user.
+func (ix *Index) ScanFiles(fn func(*FileEntry) error) error {
+	return ix.db.Scan([]byte(filePrefix), func(_, v []byte) error {
+		e, err := unmarshalFileEntry(v)
+		if err != nil {
+			return err
+		}
+		return fn(e)
+	})
+}
+
+// Compact merges the underlying LSM store (dropping tombstones), shrinking
+// the index after heavy deletion churn.
+func (ix *Index) Compact() error { return ix.db.Compact() }

@@ -1,0 +1,424 @@
+package lsmkv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestDB(t *testing.T, opts *Options) (*DB, string) {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, dir
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	if err := db.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get([]byte("k1"))
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if err := db.Delete([]byte("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("k1")); err != ErrNotFound {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	// Deleting absent keys is fine.
+	if err := db.Delete([]byte("never-existed")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	if err := db.Put(nil, []byte("v")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := db.Delete(nil); err == nil {
+		t.Fatal("empty key delete accepted")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	db.Put([]byte("k"), []byte("old"))
+	db.Put([]byte("k"), []byte("new"))
+	v, err := db.Get([]byte("k"))
+	if err != nil || string(v) != "new" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+}
+
+func TestFlushAndReadFromSSTable(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("value-%d", i)))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Tables != 1 {
+		t.Fatalf("tables = %d, want 1", db.Stats().Tables)
+	}
+	for i := 0; i < 500; i++ {
+		v, err := db.Get([]byte(fmt.Sprintf("key-%04d", i)))
+		if err != nil || string(v) != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("key-%04d: %q, %v", i, v, err)
+		}
+	}
+	if _, err := db.Get([]byte("key-9999")); err != ErrNotFound {
+		t.Fatalf("absent key after flush: %v", err)
+	}
+}
+
+func TestNewerTableShadowsOlder(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	db.Put([]byte("k"), []byte("v1"))
+	db.Flush()
+	db.Put([]byte("k"), []byte("v2"))
+	db.Flush()
+	v, err := db.Get([]byte("k"))
+	if err != nil || string(v) != "v2" {
+		t.Fatalf("Get = %q, %v; newest table must win", v, err)
+	}
+	// Tombstone in newer table shadows older value.
+	db.Delete([]byte("k"))
+	db.Flush()
+	if _, err := db.Get([]byte("k")); err != ErrNotFound {
+		t.Fatalf("tombstone not honoured: %v", err)
+	}
+}
+
+func TestWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("persist"), []byte("me"))
+	db.Delete([]byte("gone"))
+	// Simulate crash: close without Flush (Close flushes WAL buffer only).
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	v, err := db2.Get([]byte("persist"))
+	if err != nil || string(v) != "me" {
+		t.Fatalf("after recovery: %q, %v", v, err)
+	}
+	if _, err := db2.Get([]byte("gone")); err != ErrNotFound {
+		t.Fatalf("deleted key resurrected: %v", err)
+	}
+}
+
+func TestWALTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("a"), []byte("1"))
+	db.Put([]byte("b"), []byte("2"))
+	db.Close()
+	// Truncate the WAL mid-record.
+	walPath := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	defer db2.Close()
+	if v, err := db2.Get([]byte("a")); err != nil || string(v) != "1" {
+		t.Fatalf("first record lost: %q, %v", v, err)
+	}
+	// The second record was torn; it's acceptable for it to be missing.
+}
+
+func TestSSTablePersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Flush()
+	db.Close()
+	db2, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < 100; i++ {
+		v, err := db2.Get([]byte(fmt.Sprintf("k%03d", i)))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%03d after reopen: %q, %v", i, v, err)
+		}
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	db, dir := openTestDB(t, nil)
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 100; i++ {
+			db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("r%d-v%d", round, i)))
+		}
+		db.Flush()
+	}
+	// Delete half, flush, compact.
+	for i := 0; i < 50; i++ {
+		db.Delete([]byte(fmt.Sprintf("k%03d", i)))
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats().Tables; got != 1 {
+		t.Fatalf("tables after compaction = %d, want 1", got)
+	}
+	// Old files physically removed.
+	names, _ := filepath.Glob(filepath.Join(dir, "*.sst"))
+	if len(names) != 1 {
+		t.Fatalf("%d sst files on disk, want 1", len(names))
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("k%03d", i))); err != ErrNotFound {
+			t.Fatalf("deleted key k%03d survived compaction: %v", i, err)
+		}
+	}
+	for i := 50; i < 100; i++ {
+		v, err := db.Get([]byte(fmt.Sprintf("k%03d", i)))
+		if err != nil || string(v) != fmt.Sprintf("r3-v%d", i) {
+			t.Fatalf("k%03d lost newest version: %q, %v", i, v, err)
+		}
+	}
+}
+
+func TestAutomaticFlushOnThreshold(t *testing.T) {
+	db, _ := openTestDB(t, &Options{MemtableBytes: 4096, MaxTables: 100})
+	val := bytes.Repeat([]byte("x"), 512)
+	for i := 0; i < 50; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%02d", i)), val)
+	}
+	if db.Stats().Tables == 0 {
+		t.Fatal("memtable never auto-flushed")
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("key-%02d", i))); err != nil {
+			t.Fatalf("key-%02d: %v", i, err)
+		}
+	}
+}
+
+func TestAutomaticCompactionOnTooManyTables(t *testing.T) {
+	db, _ := openTestDB(t, &Options{MemtableBytes: 1024, MaxTables: 3})
+	val := bytes.Repeat([]byte("y"), 300)
+	for i := 0; i < 120; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%03d", i)), val)
+	}
+	if got := db.Stats().Tables; got > 4 {
+		t.Fatalf("tables = %d; auto compaction not keeping up", got)
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	db.Put([]byte("file/alpha"), []byte("1"))
+	db.Put([]byte("file/beta"), []byte("2"))
+	db.Put([]byte("share/gamma"), []byte("3"))
+	db.Flush()
+	db.Put([]byte("file/delta"), []byte("4"))
+	db.Delete([]byte("file/beta"))
+
+	var keys []string
+	err := db.Scan([]byte("file/"), func(k, v []byte) error {
+		keys = append(keys, string(k))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"file/alpha", "file/delta"}
+	if len(keys) != len(want) {
+		t.Fatalf("scan keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("scan keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	for i := 0; i < 10; i++ {
+		db.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	db.Delete([]byte("k0"))
+	n, err := db.Count()
+	if err != nil || n != 9 {
+		t.Fatalf("Count = %d, %v; want 9", n, err)
+	}
+}
+
+func TestClosedDBErrors(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); err != ErrClosed {
+		t.Fatalf("Put on closed: %v", err)
+	}
+	if _, err := db.Get([]byte("k")); err != ErrClosed {
+		t.Fatalf("Get on closed: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestModelCheckRandomOps(t *testing.T) {
+	// Property test: the DB must agree with a plain map under a random
+	// workload with interleaved flushes and compactions.
+	db, _ := openTestDB(t, &Options{MemtableBytes: 2048, MaxTables: 3})
+	model := make(map[string]string)
+	rng := rand.New(rand.NewSource(77))
+	for op := 0; op < 3000; op++ {
+		key := fmt.Sprintf("key-%03d", rng.Intn(300))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // put
+			val := fmt.Sprintf("val-%d", op)
+			if err := db.Put([]byte(key), []byte(val)); err != nil {
+				t.Fatal(err)
+			}
+			model[key] = val
+		case 6, 7: // delete
+			if err := db.Delete([]byte(key)); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, key)
+		case 8: // get + compare
+			v, err := db.Get([]byte(key))
+			want, ok := model[key]
+			if ok && (err != nil || string(v) != want) {
+				t.Fatalf("op %d: Get(%s) = %q, %v; want %q", op, key, v, err, want)
+			}
+			if !ok && err != ErrNotFound {
+				t.Fatalf("op %d: Get(%s) = %v; want ErrNotFound", op, key, err)
+			}
+		case 9:
+			if rng.Intn(4) == 0 {
+				if err := db.Compact(); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Final full comparison.
+	for key, want := range model {
+		v, err := db.Get([]byte(key))
+		if err != nil || string(v) != want {
+			t.Fatalf("final: Get(%s) = %q, %v; want %q", key, v, err, want)
+		}
+	}
+	n, err := db.Count()
+	if err != nil || n != len(model) {
+		t.Fatalf("Count = %d, %v; model has %d", n, err, len(model))
+	}
+}
+
+func TestCorruptSSTableRejected(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("k"), []byte("v"))
+	db.Flush()
+	db.Close()
+	names, _ := filepath.Glob(filepath.Join(dir, "*.sst"))
+	if len(names) != 1 {
+		t.Fatalf("want 1 table, got %d", len(names))
+	}
+	data, _ := os.ReadFile(names[0])
+	// Corrupt the footer magic.
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(names[0], data, 0o644)
+	if _, err := Open(dir, nil); err == nil {
+		t.Fatal("corrupt table accepted on open")
+	}
+}
+
+func TestBlockCacheServesRepeatedReads(t *testing.T) {
+	db, _ := openTestDB(t, nil)
+	for i := 0; i < 200; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), bytes.Repeat([]byte("v"), 100))
+	}
+	db.Flush()
+	for i := 0; i < 50; i++ {
+		db.Get([]byte("k0001"))
+	}
+	st := db.Stats()
+	if st.CacheHits == 0 {
+		t.Fatal("block cache never hit on repeated reads")
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	dir := b.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	val := bytes.Repeat([]byte("v"), 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%09d", i)), val)
+	}
+}
+
+func BenchmarkGetFromSSTable(b *testing.B) {
+	dir := b.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 10000; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%09d", i)), []byte("value"))
+	}
+	db.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("key-%09d", i%10000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

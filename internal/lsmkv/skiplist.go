@@ -1,0 +1,134 @@
+// Package lsmkv is an embedded log-structured merge-tree key-value store,
+// the repo's stand-in for LevelDB (§4.4: "Our prototype manages file and
+// share indices using LevelDB ... maintains key-value pairs in an LSM
+// tree ... uses a Bloom filter and a block cache to speed up lookups").
+//
+// Writes land in a write-ahead log and an in-memory skiplist memtable;
+// full memtables flush to immutable sorted-string tables (SSTables) with
+// per-table Bloom filters; reads consult the memtable then tables newest
+// to oldest through an LRU block cache; background-free, explicit
+// compaction merges tables and drops deletion tombstones.
+package lsmkv
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+)
+
+const maxHeight = 12
+
+// skiplist is an ordered in-memory map from keys to values with O(log n)
+// insert and lookup — the memtable. Values may be tombstones (deleted
+// markers) which the DB layer interprets.
+type skiplist struct {
+	head   *slNode
+	height int
+	rng    *rand.Rand
+	size   int // total key+value bytes, for flush threshold accounting
+	count  int
+	mu     sync.RWMutex
+}
+
+type slNode struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+	next      [maxHeight]*slNode
+}
+
+func newSkiplist() *skiplist {
+	return &skiplist{
+		head:   &slNode{},
+		height: 1,
+		rng:    rand.New(rand.NewSource(0x5eed)), // deterministic heights: reproducible tests
+	}
+}
+
+func (s *skiplist) randomHeight() int {
+	h := 1
+	for h < maxHeight && s.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual returns the first node with key >= target and fills
+// prev with the rightmost node before it at every level.
+func (s *skiplist) findGreaterOrEqual(key []byte, prev *[maxHeight]*slNode) *slNode {
+	x := s.head
+	for level := s.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && bytes.Compare(x.next[level].key, key) < 0 {
+			x = x.next[level]
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// put inserts or replaces key with value; tombstone marks a deletion.
+func (s *skiplist) put(key, value []byte, tombstone bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var prev [maxHeight]*slNode
+	for i := range prev {
+		prev[i] = s.head
+	}
+	node := s.findGreaterOrEqual(key, &prev)
+	if node != nil && bytes.Equal(node.key, key) {
+		s.size += len(value) - len(node.value)
+		node.value = value
+		node.tombstone = tombstone
+		return
+	}
+	h := s.randomHeight()
+	if h > s.height {
+		s.height = h
+	}
+	n := &slNode{key: key, value: value, tombstone: tombstone}
+	for level := 0; level < h; level++ {
+		n.next[level] = prev[level].next[level]
+		prev[level].next[level] = n
+	}
+	s.size += len(key) + len(value)
+	s.count++
+}
+
+// get returns (value, tombstone, found).
+func (s *skiplist) get(key []byte) ([]byte, bool, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	node := s.findGreaterOrEqual(key, nil)
+	if node != nil && bytes.Equal(node.key, key) {
+		return node.value, node.tombstone, true
+	}
+	return nil, false, false
+}
+
+// approximateSize returns the stored key+value byte volume.
+func (s *skiplist) approximateSize() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}
+
+// entries returns all entries in key order (including tombstones).
+func (s *skiplist) entries() []kvEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]kvEntry, 0, s.count)
+	for x := s.head.next[0]; x != nil; x = x.next[0] {
+		out = append(out, kvEntry{key: x.key, value: x.value, tombstone: x.tombstone})
+	}
+	return out
+}
+
+// kvEntry is one key-value record flowing between memtable, WAL, and
+// SSTables.
+type kvEntry struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+}

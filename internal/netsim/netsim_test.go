@@ -1,0 +1,164 @@
+package netsim
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestLimiterThrottlesToRate(t *testing.T) {
+	// Virtual clock: track requested sleeps instead of real time.
+	l := NewLimiter(1000 * 1000) // 1MB/s
+	var slept time.Duration
+	now := time.Now()
+	l.now = func() time.Time { return now }
+	l.sleep = func(d time.Duration) { slept += d; now = now.Add(d) }
+
+	// Consume 2MB beyond the burst: must wait ~2 seconds.
+	l.WaitN(2 * 1000 * 1000)
+	if slept < 1500*time.Millisecond || slept > 2500*time.Millisecond {
+		t.Fatalf("slept %v for 2MB at 1MB/s; want ~2s", slept)
+	}
+}
+
+func TestLimiterBurstPassesImmediately(t *testing.T) {
+	l := NewLimiter(MBps(10))
+	var slept time.Duration
+	now := time.Now()
+	l.now = func() time.Time { return now }
+	l.sleep = func(d time.Duration) { slept += d; now = now.Add(d) }
+	l.WaitN(1024) // well under burst
+	if slept != 0 {
+		t.Fatalf("small send slept %v; want 0", slept)
+	}
+}
+
+func TestLimiterRefill(t *testing.T) {
+	l := NewLimiter(1000)
+	var slept time.Duration
+	now := time.Now()
+	l.now = func() time.Time { return now }
+	l.sleep = func(d time.Duration) { slept += d; now = now.Add(d) }
+	l.WaitN(66 * 1024) // burst floor is 64KB: depletes and waits
+	first := slept
+	if first == 0 {
+		t.Fatal("expected a wait after burst depletion")
+	}
+	// A long idle period refills the bucket: next small send is free.
+	now = now.Add(2 * time.Minute)
+	slept = 0
+	l.WaitN(1024)
+	if slept != 0 {
+		t.Fatalf("after refill slept %v; want 0", slept)
+	}
+}
+
+func TestNilLimiterIsUnlimited(t *testing.T) {
+	var l *Limiter
+	done := make(chan struct{})
+	go func() {
+		l.WaitN(1 << 30)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("nil limiter blocked")
+	}
+	if l.Rate() != 0 {
+		t.Fatal("nil limiter rate should be 0")
+	}
+	if NewLimiter(0) != nil {
+		t.Fatal("rate 0 should produce nil limiter")
+	}
+}
+
+func TestShapedConnEndToEnd(t *testing.T) {
+	// 1MB/s shaped pipe moving 320KB beyond the 100KB burst: expect
+	// >=150ms wall time, proving shaping engages on real connections.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	shaped := Shape(a, NewLimiter(MBps(1)), nil, 0)
+
+	const total = 320 * 1024
+	go func() {
+		buf := make([]byte, 32*1024)
+		for sent := 0; sent < total; sent += len(buf) {
+			shaped.Write(buf)
+		}
+	}()
+	start := time.Now()
+	buf := make([]byte, 32*1024)
+	got := 0
+	for got < total {
+		n, err := b.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += n
+	}
+	elapsed := time.Since(start)
+	if elapsed < 150*time.Millisecond {
+		t.Fatalf("320KB at 1MB/s took %v; shaping not engaged", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("took %v; shaping far too slow", elapsed)
+	}
+}
+
+func TestShapedConnLatencyChargedOnce(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	shaped := Shape(a, nil, nil, 50*time.Millisecond)
+	go func() {
+		buf := make([]byte, 8)
+		b.Read(buf)
+		b.Read(buf)
+	}()
+	start := time.Now()
+	shaped.Write(make([]byte, 8))
+	shaped.Write(make([]byte, 8))
+	elapsed := time.Since(start)
+	if elapsed < 50*time.Millisecond {
+		t.Fatalf("latency not charged: %v", elapsed)
+	}
+	if elapsed > 140*time.Millisecond {
+		t.Fatalf("latency charged more than once: %v", elapsed)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	lan := LANProfile()
+	if lan.UploadBps != MBps(110) || lan.DownloadBps != MBps(110) {
+		t.Fatal("LAN profile speeds wrong")
+	}
+	clouds := CloudProfiles()
+	if len(clouds) != 4 {
+		t.Fatalf("want 4 cloud profiles, got %d", len(clouds))
+	}
+	names := map[string]bool{}
+	for _, c := range clouds {
+		names[c.Name] = true
+		if c.UploadBps <= 0 || c.DownloadBps <= 0 {
+			t.Fatalf("%s has non-positive speeds", c.Name)
+		}
+	}
+	for _, want := range []string{"Amazon", "Google", "Azure", "Rackspace"} {
+		if !names[want] {
+			t.Fatalf("missing cloud %s", want)
+		}
+	}
+	// Table 2 ordering: Azure/Rackspace (HK) much faster than
+	// Amazon/Google (SG).
+	if !(clouds[2].UploadBps > 2*clouds[0].UploadBps) {
+		t.Fatal("Azure should be much faster than Amazon per Table 2")
+	}
+}
+
+func TestMBps(t *testing.T) {
+	if MBps(1) != 1000*1000 {
+		t.Fatal("MBps conversion wrong")
+	}
+}

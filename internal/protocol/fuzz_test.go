@@ -1,0 +1,63 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodersNeverPanicOnGarbage feeds random byte strings to every
+// payload decoder: malformed input must produce errors, never panics or
+// absurd allocations — servers decode attacker-controlled bytes.
+func TestDecodersNeverPanicOnGarbage(t *testing.T) {
+	decoders := map[string]func([]byte){
+		"Hello":        func(p []byte) { _, _ = DecodeHello(p) },
+		"HelloOK":      func(p []byte) { _, _, _, _ = DecodeHelloOK(p) },
+		"Fingerprints": func(p []byte) { _, _ = DecodeFingerprints(p) },
+		"Bitmap":       func(p []byte) { _, _ = DecodeBitmap(p) },
+		"ShareBatch":   func(p []byte) { _, _ = DecodeShareBatch(p) },
+		"Shares":       func(p []byte) { _, _ = DecodeShares(p) },
+		"String":       func(p []byte) { _, _ = DecodeString(p) },
+		"FileList":     func(p []byte) { _, _ = DecodeFileList(p) },
+		"Error":        func(p []byte) { _, _ = DecodeError(p) },
+		"PutOK":        func(p []byte) { _, _ = DecodePutOK(p) },
+	}
+	for name, dec := range decoders {
+		dec := dec
+		err := quick.Check(func(p []byte) bool {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s panicked on %x: %v", name, p, r)
+				}
+			}()
+			dec(p)
+			return true
+		}, &quick.Config{MaxCount: 500})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestDecodersRejectCountLies checks decoders whose payloads carry
+// element counts against buffers that lie about them.
+func TestDecodersRejectCountLies(t *testing.T) {
+	// Claim 1M fingerprints with a 10-byte body.
+	lie := []byte{0x00, 0x10, 0x00, 0x00, 1, 2, 3, 4, 5, 6}
+	if _, err := DecodeFingerprints(lie); err == nil {
+		t.Error("fingerprint count lie accepted")
+	}
+	if _, err := DecodeShareBatch(lie); err == nil {
+		t.Error("share batch count lie accepted")
+	}
+	if _, err := DecodeShares(lie); err == nil {
+		t.Error("shares count lie accepted")
+	}
+	if _, err := DecodeFileList(lie); err == nil {
+		t.Error("file list count lie accepted")
+	}
+	// Absurd counts must not pre-allocate gigabytes.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := DecodeShareBatch(huge); err == nil {
+		t.Error("absurd share count accepted")
+	}
+}

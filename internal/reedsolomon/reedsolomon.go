@@ -1,0 +1,300 @@
+package reedsolomon
+
+import (
+	"errors"
+	"fmt"
+
+	"cdstore/internal/gf256"
+)
+
+// Codec is a systematic (n, k) Reed-Solomon encoder/decoder. It is
+// immutable after construction and safe for concurrent use.
+type Codec struct {
+	n, k   int
+	enc    *Matrix // n x k encoding matrix; top k x k block is identity
+	parity *Matrix // (n-k) x k parity sub-matrix (rows k..n-1 of enc)
+	field  *gf256.Field
+}
+
+// Common error values returned by the codec.
+var (
+	ErrInvalidParams   = errors.New("reedsolomon: require 0 < k < n <= 256")
+	ErrTooFewShards    = errors.New("reedsolomon: fewer than k shards available")
+	ErrShardSize       = errors.New("reedsolomon: shards have mismatched or zero size")
+	ErrInvalidShardNum = errors.New("reedsolomon: shard index out of range")
+)
+
+// New constructs a systematic (n, k) codec. The encoding matrix is the
+// n x k Vandermonde matrix right-multiplied by the inverse of its own top
+// k x k block, which preserves the any-k-rows-invertible property while
+// making the first k outputs equal the inputs.
+func New(n, k int) (*Codec, error) {
+	if k <= 0 || n <= k || n > 256 {
+		return nil, fmt.Errorf("%w (got n=%d k=%d)", ErrInvalidParams, n, k)
+	}
+	v := Vandermonde(n, k)
+	top := v.SubMatrix(0, k, 0, k)
+	topInv, err := top.Invert()
+	if err != nil {
+		// Unreachable for distinct Vandermonde points, but keep the error
+		// path honest.
+		return nil, err
+	}
+	enc := v.Mul(topInv)
+	return &Codec{
+		n:      n,
+		k:      k,
+		enc:    enc,
+		parity: enc.SubMatrix(k, n, 0, k),
+		field:  gf256.Default(),
+	}, nil
+}
+
+// N returns the total number of shards.
+func (c *Codec) N() int { return c.n }
+
+// K returns the number of data shards (reconstruction threshold).
+func (c *Codec) K() int { return c.k }
+
+// EncodingMatrix returns a copy of the n x k encoding matrix.
+func (c *Codec) EncodingMatrix() *Matrix { return c.enc.Clone() }
+
+// Encode fills the parity shards from the data shards. shards must hold
+// exactly n slices of equal nonzero length; the first k are read as data
+// and the last n-k are overwritten with parity.
+func (c *Codec) Encode(shards [][]byte) error {
+	if err := c.checkShards(shards, true); err != nil {
+		return err
+	}
+	size := len(shards[0])
+	for r := 0; r < c.n-c.k; r++ {
+		out := shards[c.k+r]
+		for i := range out {
+			out[i] = 0
+		}
+		row := c.parity.Row(r)
+		for i := 0; i < c.k; i++ {
+			c.field.MulAddSlice(row[i], shards[i], out)
+		}
+		if len(out) != size {
+			return ErrShardSize
+		}
+	}
+	return nil
+}
+
+// Split divides data into k equal-size data shards, zero-padding the tail,
+// and returns n shard buffers (parity shards allocated but not encoded).
+// The returned shard size is ceil(len(data)/k).
+func (c *Codec) Split(data []byte) [][]byte {
+	shardSize := (len(data) + c.k - 1) / c.k
+	if shardSize == 0 {
+		shardSize = 1
+	}
+	shards := make([][]byte, c.n)
+	for i := range shards {
+		shards[i] = make([]byte, shardSize)
+	}
+	for i := 0; i < c.k; i++ {
+		lo := i * shardSize
+		if lo >= len(data) {
+			break
+		}
+		hi := lo + shardSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		copy(shards[i], data[lo:hi])
+	}
+	return shards
+}
+
+// Join concatenates the k data shards and truncates to size bytes,
+// reversing Split.
+func (c *Codec) Join(shards [][]byte, size int) ([]byte, error) {
+	if len(shards) < c.k {
+		return nil, ErrTooFewShards
+	}
+	out := make([]byte, 0, size)
+	for i := 0; i < c.k && len(out) < size; i++ {
+		if shards[i] == nil {
+			return nil, fmt.Errorf("reedsolomon: data shard %d missing in Join", i)
+		}
+		need := size - len(out)
+		if need > len(shards[i]) {
+			need = len(shards[i])
+		}
+		out = append(out, shards[i][:need]...)
+	}
+	if len(out) != size {
+		return nil, fmt.Errorf("reedsolomon: joined %d bytes, want %d", len(out), size)
+	}
+	return out, nil
+}
+
+// ReconstructData recovers the k data shards from any k available shards.
+// have maps shard index -> shard content; exactly the k entries used are
+// chosen deterministically (ascending index). The result is the slice of
+// k data shards.
+func (c *Codec) ReconstructData(have map[int][]byte) ([][]byte, error) {
+	idxs := make([]int, 0, len(have))
+	for i := range have {
+		if i < 0 || i >= c.n {
+			return nil, fmt.Errorf("%w: %d", ErrInvalidShardNum, i)
+		}
+		idxs = append(idxs, i)
+	}
+	if len(idxs) < c.k {
+		return nil, ErrTooFewShards
+	}
+	sortInts(idxs)
+	idxs = idxs[:c.k]
+
+	size := -1
+	for _, i := range idxs {
+		if size == -1 {
+			size = len(have[i])
+		}
+		if len(have[i]) != size || size == 0 {
+			return nil, ErrShardSize
+		}
+	}
+
+	// Fast path: all k data shards present.
+	allData := true
+	for i := 0; i < c.k; i++ {
+		if idxs[i] != i {
+			allData = false
+			break
+		}
+	}
+	if allData {
+		out := make([][]byte, c.k)
+		for i := 0; i < c.k; i++ {
+			out[i] = have[i]
+		}
+		return out, nil
+	}
+
+	sub := c.enc.PickRows(idxs)
+	inv, err := sub.Invert()
+	if err != nil {
+		return nil, err
+	}
+	data := make([][]byte, c.k)
+	for r := 0; r < c.k; r++ {
+		out := make([]byte, size)
+		row := inv.Row(r)
+		for i, idx := range idxs {
+			c.field.MulAddSlice(row[i], have[idx], out)
+		}
+		data[r] = out
+	}
+	return data, nil
+}
+
+// Reconstruct recovers every missing shard (data and parity). shards must
+// have length n; nil entries are treated as missing and filled in.
+func (c *Codec) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.n {
+		return fmt.Errorf("reedsolomon: Reconstruct requires %d shard slots, got %d", c.n, len(shards))
+	}
+	have := make(map[int][]byte)
+	missing := 0
+	for i, s := range shards {
+		if s != nil {
+			have[i] = s
+		} else {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return nil
+	}
+	data, err := c.ReconstructData(have)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < c.k; i++ {
+		shards[i] = data[i]
+	}
+	// Recompute parity rows that were missing.
+	size := len(data[0])
+	for r := c.k; r < c.n; r++ {
+		if shards[r] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.enc.Row(r)
+		for i := 0; i < c.k; i++ {
+			c.field.MulAddSlice(row[i], shards[i], out)
+		}
+		shards[r] = out
+	}
+	return nil
+}
+
+// Verify checks that the parity shards are consistent with the data
+// shards. It returns true only when every parity shard matches a fresh
+// encoding of the data shards.
+func (c *Codec) Verify(shards [][]byte) (bool, error) {
+	if err := c.checkShards(shards, false); err != nil {
+		return false, err
+	}
+	size := len(shards[0])
+	buf := make([]byte, size)
+	for r := 0; r < c.n-c.k; r++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		row := c.parity.Row(r)
+		for i := 0; i < c.k; i++ {
+			c.field.MulAddSlice(row[i], shards[i], buf)
+		}
+		if !bytesEqual(buf, shards[c.k+r]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (c *Codec) checkShards(shards [][]byte, parityMaySkip bool) error {
+	if len(shards) != c.n {
+		return fmt.Errorf("reedsolomon: need %d shards, got %d", c.n, len(shards))
+	}
+	size := len(shards[0])
+	if size == 0 {
+		return ErrShardSize
+	}
+	for i, s := range shards {
+		if s == nil && parityMaySkip && i >= c.k {
+			continue
+		}
+		if len(s) != size {
+			return ErrShardSize
+		}
+	}
+	return nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortInts sorts a small int slice in place (insertion sort; shard counts
+// are tiny, so this avoids pulling in package sort for the hot path).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package reedsolomon
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustCodec(t testing.TB, n, k int) *Codec {
+	t.Helper()
+	c, err := New(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	for _, p := range [][2]int{{3, 3}, {3, 4}, {0, 0}, {4, 0}, {4, -1}, {257, 3}} {
+		if _, err := New(p[0], p[1]); err == nil {
+			t.Fatalf("New(%d,%d) should fail", p[0], p[1])
+		}
+	}
+}
+
+func TestSystematicProperty(t *testing.T) {
+	c := mustCodec(t, 6, 4)
+	enc := c.EncodingMatrix()
+	if !enc.SubMatrix(0, 4, 0, 4).IsIdentity() {
+		t.Fatal("top k x k of encoding matrix is not identity (code not systematic)")
+	}
+}
+
+func TestEncodeVerifyRoundTrip(t *testing.T) {
+	c := mustCodec(t, 6, 4)
+	rng := rand.New(rand.NewSource(3))
+	shards := make([][]byte, 6)
+	for i := range shards {
+		shards[i] = make([]byte, 1000)
+	}
+	for i := 0; i < 4; i++ {
+		rng.Read(shards[i])
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Verify(shards)
+	if err != nil || !ok {
+		t.Fatalf("Verify = %v, %v; want true, nil", ok, err)
+	}
+	// Corrupt one byte; verification must fail.
+	shards[5][17] ^= 0xff
+	ok, err = c.Verify(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Verify passed on corrupted parity")
+	}
+}
+
+func TestReconstructAllErasurePatterns(t *testing.T) {
+	// (5,3): drop every possible subset of 2 shards and reconstruct.
+	c := mustCodec(t, 5, 3)
+	rng := rand.New(rand.NewSource(4))
+	orig := make([][]byte, 5)
+	for i := range orig {
+		orig[i] = make([]byte, 257)
+	}
+	for i := 0; i < 3; i++ {
+		rng.Read(orig[i])
+	}
+	if err := c.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			shards := make([][]byte, 5)
+			for i := range shards {
+				if i != a && i != b {
+					shards[i] = append([]byte(nil), orig[i]...)
+				}
+			}
+			if err := c.Reconstruct(shards); err != nil {
+				t.Fatalf("erase {%d,%d}: %v", a, b, err)
+			}
+			for i := range shards {
+				if !bytes.Equal(shards[i], orig[i]) {
+					t.Fatalf("erase {%d,%d}: shard %d mismatch", a, b, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructDataFromParityOnlySubsets(t *testing.T) {
+	c := mustCodec(t, 4, 2)
+	data := [][]byte{[]byte("hello world!"), []byte("goodbye !!!!")}
+	shards := make([][]byte, 4)
+	shards[0] = append([]byte(nil), data[0]...)
+	shards[1] = append([]byte(nil), data[1]...)
+	shards[2] = make([]byte, 12)
+	shards[3] = make([]byte, 12)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	// Recover from the two parity shards only.
+	got, err := c.ReconstructData(map[int][]byte{2: shards[2], 3: shards[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[0], data[0]) || !bytes.Equal(got[1], data[1]) {
+		t.Fatal("parity-only reconstruction mismatch")
+	}
+}
+
+func TestReconstructDataFastPath(t *testing.T) {
+	c := mustCodec(t, 4, 3)
+	have := map[int][]byte{
+		0: []byte("aa"), 1: []byte("bb"), 2: []byte("cc"), 3: []byte("dd"),
+	}
+	got, err := c.ReconstructData(have)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !bytes.Equal(got[i], have[i]) {
+			t.Fatal("fast path should return data shards verbatim")
+		}
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	c := mustCodec(t, 4, 3)
+	if _, err := c.ReconstructData(map[int][]byte{0: []byte("x")}); err != ErrTooFewShards {
+		t.Fatalf("want ErrTooFewShards, got %v", err)
+	}
+	if _, err := c.ReconstructData(map[int][]byte{0: []byte("x"), 1: []byte("y"), 9: []byte("z")}); err == nil {
+		t.Fatal("out-of-range shard index should fail")
+	}
+	if _, err := c.ReconstructData(map[int][]byte{0: []byte("x"), 1: []byte("yy"), 2: []byte("z")}); err != ErrShardSize {
+		t.Fatalf("want ErrShardSize, got %v", err)
+	}
+	if err := c.Reconstruct(make([][]byte, 3)); err == nil {
+		t.Fatal("wrong slot count should fail")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	c := mustCodec(t, 4, 3)
+	if err := c.Encode(make([][]byte, 3)); err == nil {
+		t.Fatal("wrong shard count should fail")
+	}
+	bad := [][]byte{{1}, {2, 3}, {4}, {5}}
+	if err := c.Encode(bad); err != ErrShardSize {
+		t.Fatalf("want ErrShardSize, got %v", err)
+	}
+	empty := [][]byte{{}, {}, {}, {}}
+	if err := c.Encode(empty); err != ErrShardSize {
+		t.Fatalf("want ErrShardSize for empty shards, got %v", err)
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	c := mustCodec(t, 5, 3)
+	err := quick.Check(func(data []byte) bool {
+		shards := c.Split(data)
+		if len(shards) != 5 {
+			return false
+		}
+		joined, err := c.Join(shards, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(joined, data)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitEmptyData(t *testing.T) {
+	c := mustCodec(t, 4, 2)
+	shards := c.Split(nil)
+	if len(shards) != 4 || len(shards[0]) != 1 {
+		t.Fatalf("Split(nil) should produce 4 one-byte shards, got %d x %d", len(shards), len(shards[0]))
+	}
+	out, err := c.Join(shards, 0)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Join of empty data failed: %v", err)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	c := mustCodec(t, 4, 2)
+	if _, err := c.Join([][]byte{{1}}, 2); err != ErrTooFewShards {
+		t.Fatalf("want ErrTooFewShards, got %v", err)
+	}
+	if _, err := c.Join([][]byte{nil, {1}}, 2); err == nil {
+		t.Fatal("nil data shard should fail")
+	}
+	if _, err := c.Join([][]byte{{1}, {2}}, 5); err == nil {
+		t.Fatal("asking for more bytes than shards hold should fail")
+	}
+}
+
+func TestPropertyEncodeReconstructRandomErasures(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(10)
+		k := 1 + rng.Intn(n-1)
+		if k >= n {
+			k = n - 1
+		}
+		if k == 0 {
+			k = 1
+		}
+		c := mustCodec(t, n, k)
+		size := 1 + rng.Intn(300)
+		shards := make([][]byte, n)
+		for i := range shards {
+			shards[i] = make([]byte, size)
+		}
+		for i := 0; i < k; i++ {
+			rng.Read(shards[i])
+		}
+		orig := make([][]byte, n)
+		if err := c.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		for i := range shards {
+			orig[i] = append([]byte(nil), shards[i]...)
+		}
+		// Erase up to n-k random shards.
+		erase := rng.Intn(n - k + 1)
+		perm := rng.Perm(n)
+		for _, i := range perm[:erase] {
+			shards[i] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("n=%d k=%d erase=%d: %v", n, k, erase, err)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				t.Fatalf("n=%d k=%d: shard %d mismatch after reconstruct", n, k, i)
+			}
+		}
+	}
+}
+
+func TestLargeN(t *testing.T) {
+	// The paper sweeps n up to 20 (Fig 5b); make sure codecs stay correct there.
+	for n := 4; n <= 20; n += 4 {
+		k := n * 3 / 4
+		c := mustCodec(t, n, k)
+		data := make([]byte, 8192)
+		rand.New(rand.NewSource(int64(n))).Read(data)
+		shards := c.Split(data)
+		if err := c.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		have := map[int][]byte{}
+		for i := n - k; i < n; i++ { // take the "last" k shards
+			have[i] = shards[i]
+		}
+		rec, err := c.ReconstructData(have)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		joined, err := c.Join(rec, len(data))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(joined, data) {
+			t.Fatalf("n=%d: data mismatch", n)
+		}
+	}
+}
+
+func BenchmarkEncode43_8KB(b *testing.B) {
+	c := mustCodec(b, 4, 3)
+	data := make([]byte, 8192)
+	rand.New(rand.NewSource(5)).Read(data)
+	shards := c.Split(data)
+	b.SetBytes(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct43_8KB(b *testing.B) {
+	c := mustCodec(b, 4, 3)
+	data := make([]byte, 8192)
+	rand.New(rand.NewSource(6)).Read(data)
+	shards := c.Split(data)
+	if err := c.Encode(shards); err != nil {
+		b.Fatal(err)
+	}
+	have := map[int][]byte{1: shards[1], 2: shards[2], 3: shards[3]}
+	b.SetBytes(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ReconstructData(have); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

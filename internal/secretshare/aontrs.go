@@ -1,0 +1,126 @@
+package secretshare
+
+import (
+	"fmt"
+
+	"cdstore/internal/aont"
+	"cdstore/internal/reedsolomon"
+)
+
+// AONTRS is the AONT-RS scheme of Resch and Plank (FAST '11), as deployed
+// by Cleversafe: the secret is passed through Rivest's all-or-nothing
+// package transform under a fresh random key, and the package is divided
+// into k shares and erasure-coded into n with a systematic Reed-Solomon
+// code.
+//
+// Properties (Table 1): r = k-1 (computational), storage blowup
+// n/k + (n/k)*Skey/Ssec. Randomness makes shares of identical secrets
+// distinct — the deduplication blocker that motivates CAONT-RS.
+type AONTRS struct {
+	n, k  int
+	codec *reedsolomon.Codec
+}
+
+// NewAONTRS constructs an (n, k) AONT-RS scheme.
+func NewAONTRS(n, k int) (*AONTRS, error) {
+	c, err := reedsolomon.New(n, k)
+	if err != nil {
+		return nil, err
+	}
+	return &AONTRS{n: n, k: k, codec: c}, nil
+}
+
+// Name implements Scheme.
+func (a *AONTRS) Name() string { return "AONT-RS" }
+
+// N implements Scheme.
+func (a *AONTRS) N() int { return a.n }
+
+// K implements Scheme.
+func (a *AONTRS) K() int { return a.k }
+
+// R implements Scheme.
+func (a *AONTRS) R() int { return a.k - 1 }
+
+// ShareSize implements Scheme: the Rivest package (padded words + canary +
+// key block) split across k shares.
+func (a *AONTRS) ShareSize(secretSize int) int {
+	pkg := aont.RivestPackageSize(secretSize)
+	sz := (pkg + a.k - 1) / a.k
+	if sz == 0 {
+		sz = 1
+	}
+	return sz
+}
+
+// Split implements Scheme.
+func (a *AONTRS) Split(secret []byte) ([][]byte, error) {
+	if len(secret) == 0 {
+		return nil, ErrEmptySecret
+	}
+	key, err := randBytes(aont.KeySize)
+	if err != nil {
+		return nil, err
+	}
+	return a.splitWithKey(secret, key)
+}
+
+// splitWithKey is the deterministic core shared with CAONT-RS-Rivest
+// (internal/core supplies a content-derived key instead of a random one).
+func (a *AONTRS) splitWithKey(secret, key []byte) ([][]byte, error) {
+	pkg, err := aont.PackageRivest(secret, key)
+	if err != nil {
+		return nil, err
+	}
+	shards := a.codec.Split(pkg)
+	if err := a.codec.Encode(shards); err != nil {
+		return nil, err
+	}
+	return shards, nil
+}
+
+// SplitWithKey disperses the secret using a caller-supplied 32-byte
+// package key instead of a random one. Exposed for the convergent
+// dispersal instantiation CAONT-RS-Rivest.
+func (a *AONTRS) SplitWithKey(secret, key []byte) ([][]byte, error) {
+	if len(secret) == 0 {
+		return nil, ErrEmptySecret
+	}
+	return a.splitWithKey(secret, key)
+}
+
+// Combine implements Scheme. The canary embedded by the package transform
+// detects corrupted reconstructions and surfaces as ErrCorrupt.
+func (a *AONTRS) Combine(shares map[int][]byte, secretSize int) ([]byte, error) {
+	secret, _, err := a.CombineWithKey(shares, secretSize)
+	return secret, err
+}
+
+// CombineWithKey reconstructs the secret and also returns the recovered
+// package key (the convergent variant checks it against the content hash).
+func (a *AONTRS) CombineWithKey(shares map[int][]byte, secretSize int) ([]byte, []byte, error) {
+	idxs, size, err := checkShares(shares, a.n, a.k)
+	if err != nil {
+		return nil, nil, err
+	}
+	if size != a.ShareSize(secretSize) {
+		return nil, nil, fmt.Errorf("%w: share size %d inconsistent with secret size %d", ErrShareSize, size, secretSize)
+	}
+	have := make(map[int][]byte, a.k)
+	for _, i := range idxs {
+		have[i] = shares[i]
+	}
+	data, err := a.codec.ReconstructData(have)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkg, err := a.codec.Join(data, aont.RivestPackageSize(secretSize))
+	if err != nil {
+		return nil, nil, err
+	}
+	secret, key, err := aont.UnpackRivest(pkg, secretSize)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return secret, key, nil
+}

@@ -1,0 +1,96 @@
+// Package secretshare implements the family of secret sharing algorithms
+// surveyed in Table 1 of the CDStore paper:
+//
+//	SSSS    Shamir's secret sharing           r = k-1, blowup n
+//	IDA     Rabin's information dispersal     r = 0,   blowup n/k
+//	RSSS    ramp secret sharing               r in (0, k-1), blowup n/(k-r)
+//	SSMS    secret sharing made short         r = k-1, blowup n/k + n*Skey/Ssec
+//	AONT-RS all-or-nothing transform + RS     r = k-1, blowup n/k + (n/k)*Skey/Ssec
+//
+// All five use embedded randomness, so identical secrets produce distinct
+// shares and deduplication is impossible; the convergent variants that fix
+// this live in internal/core and satisfy the same Scheme interface.
+package secretshare
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+)
+
+// Scheme is an (n, k, r) secret sharing algorithm: a secret is dispersed
+// into n shares, any k reconstruct it, and no information is revealed by
+// r or fewer shares.
+type Scheme interface {
+	// Name identifies the algorithm (e.g. "SSSS", "CAONT-RS").
+	Name() string
+	// N returns the total number of shares produced.
+	N() int
+	// K returns the reconstruction threshold.
+	K() int
+	// R returns the confidentiality degree.
+	R() int
+	// ShareSize returns the size of each share for a secret of the given
+	// size (all shares of one secret have equal size).
+	ShareSize(secretSize int) int
+	// Split disperses the secret into n shares.
+	Split(secret []byte) ([][]byte, error)
+	// Combine reconstructs a secret of secretSize bytes from at least k
+	// shares, given as a map from share index (0..n-1) to content.
+	Combine(shares map[int][]byte, secretSize int) ([]byte, error)
+}
+
+// Errors shared by the scheme implementations.
+var (
+	ErrEmptySecret  = errors.New("secretshare: empty secret")
+	ErrTooFewShares = errors.New("secretshare: fewer than k shares")
+	ErrShareSize    = errors.New("secretshare: inconsistent share sizes")
+	ErrBadIndex     = errors.New("secretshare: share index out of range")
+	ErrCorrupt      = errors.New("secretshare: reconstructed secret failed integrity check")
+)
+
+// StorageBlowup returns total share bytes / secret bytes for a scheme and
+// secret size — the metric Table 1 compares.
+func StorageBlowup(s Scheme, secretSize int) float64 {
+	return float64(s.N()*s.ShareSize(secretSize)) / float64(secretSize)
+}
+
+// randBytes fills a fresh buffer of the given size from crypto/rand.
+func randBytes(size int) ([]byte, error) {
+	b := make([]byte, size)
+	if _, err := rand.Read(b); err != nil {
+		return nil, fmt.Errorf("secretshare: reading randomness: %w", err)
+	}
+	return b, nil
+}
+
+// checkShares validates a share map and returns the sorted usable indices
+// (at most k of them) and the common share size.
+func checkShares(shares map[int][]byte, n, k int) ([]int, int, error) {
+	idxs := make([]int, 0, len(shares))
+	for i := range shares {
+		if i < 0 || i >= n {
+			return nil, 0, fmt.Errorf("%w: %d", ErrBadIndex, i)
+		}
+		idxs = append(idxs, i)
+	}
+	if len(idxs) < k {
+		return nil, 0, ErrTooFewShares
+	}
+	for i := 1; i < len(idxs); i++ {
+		for j := i; j > 0 && idxs[j-1] > idxs[j]; j-- {
+			idxs[j-1], idxs[j] = idxs[j], idxs[j-1]
+		}
+	}
+	idxs = idxs[:k]
+	size := -1
+	for _, i := range idxs {
+		if size == -1 {
+			size = len(shares[i])
+		}
+		if len(shares[i]) != size || size == 0 {
+			return nil, 0, ErrShareSize
+		}
+	}
+	return idxs, size, nil
+}

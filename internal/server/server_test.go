@@ -1,0 +1,305 @@
+package server
+
+import (
+	"net"
+	"testing"
+
+	"cdstore/internal/metadata"
+	"cdstore/internal/protocol"
+	"cdstore/internal/storage"
+)
+
+// testServer starts a server and returns a connected protocol conn.
+func testServer(t *testing.T) (*Server, *protocol.Conn) {
+	t.Helper()
+	srv, err := New(Config{
+		CloudIndex: 0, N: 4, K: 3,
+		IndexDir: t.TempDir(),
+		Backend:  storage.NewMemory(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	a, b := net.Pipe()
+	go srv.ServeConn(a)
+	pc := protocol.NewConn(b)
+	t.Cleanup(func() { pc.Close() })
+	return srv, pc
+}
+
+// call performs one request/response exchange.
+func call(t *testing.T, pc *protocol.Conn, typ byte, payload []byte) (byte, []byte) {
+	t.Helper()
+	if err := pc.WriteMsg(typ, payload); err != nil {
+		t.Fatal(err)
+	}
+	rtyp, reply, err := pc.ReadMsg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rtyp, reply
+}
+
+func hello(t *testing.T, pc *protocol.Conn, user uint64) {
+	t.Helper()
+	rtyp, reply := call(t, pc, protocol.MsgHello, protocol.EncodeHello(user))
+	if rtyp != protocol.MsgHelloOK {
+		t.Fatalf("hello reply type %d", rtyp)
+	}
+	ci, n, k, err := protocol.DecodeHelloOK(reply)
+	if err != nil || ci != 0 || n != 4 || k != 3 {
+		t.Fatalf("hello decode: %d %d %d %v", ci, n, k, err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{CloudIndex: 0, N: 3, K: 3, IndexDir: t.TempDir(), Backend: storage.NewMemory()}); err == nil {
+		t.Fatal("n == k accepted")
+	}
+	if _, err := New(Config{CloudIndex: 9, N: 4, K: 3, IndexDir: t.TempDir(), Backend: storage.NewMemory()}); err == nil {
+		t.Fatal("out-of-range cloud index accepted")
+	}
+	if _, err := New(Config{CloudIndex: 0, N: 4, K: 3, IndexDir: t.TempDir()}); err == nil {
+		t.Fatal("nil backend accepted")
+	}
+}
+
+func TestUnauthenticatedRequestsRejected(t *testing.T) {
+	_, pc := testServer(t)
+	rtyp, reply := call(t, pc, protocol.MsgListFiles, nil)
+	if rtyp != protocol.MsgError {
+		t.Fatalf("expected MsgError, got %d", rtyp)
+	}
+	re, err := protocol.DecodeError(reply)
+	if err != nil || re.Code != protocol.CodeBadRequest {
+		t.Fatalf("error decode: %+v, %v", re, err)
+	}
+}
+
+func TestPutSharesAndServerSideFingerprinting(t *testing.T) {
+	srv, pc := testServer(t)
+	hello(t, pc, 1)
+	shareData := []byte("the share content determines identity, not any claimed hash")
+	batch := protocol.EncodeShareBatch([]protocol.ShareUpload{
+		{SecretSeq: 0, SecretSize: 100, Data: shareData},
+	})
+	rtyp, reply := call(t, pc, protocol.MsgPutShares, batch)
+	if rtyp != protocol.MsgPutOK {
+		t.Fatalf("put reply %d: %s", rtyp, reply)
+	}
+	stored, _ := protocol.DecodePutOK(reply)
+	if stored != 1 {
+		t.Fatalf("stored %d, want 1", stored)
+	}
+	// The server indexed the share under ITS OWN hash of the content.
+	fp := metadata.FingerprintOf(shareData)
+	rtyp, reply = call(t, pc, protocol.MsgQuery, protocol.EncodeFingerprints([]metadata.Fingerprint{fp}))
+	if rtyp != protocol.MsgQueryResult {
+		t.Fatalf("query reply %d", rtyp)
+	}
+	owned, _ := protocol.DecodeBitmap(reply)
+	if len(owned) != 1 || !owned[0] {
+		t.Fatal("server did not index the uploaded share by content hash")
+	}
+	// Re-uploading the same content is deduplicated (stored = 0).
+	rtyp, reply = call(t, pc, protocol.MsgPutShares, batch)
+	if rtyp != protocol.MsgPutOK {
+		t.Fatalf("second put reply %d", rtyp)
+	}
+	stored, _ = protocol.DecodePutOK(reply)
+	if stored != 0 {
+		t.Fatalf("duplicate stored %d, want 0", stored)
+	}
+	st := srv.Stats()
+	if st.SharesReceived != 2 || st.SharesStored != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestRecipeRejectsUnownedShares(t *testing.T) {
+	// A recipe naming a fingerprint the user never uploaded is an
+	// ownership probe (§3.3) and must be rejected.
+	_, pc := testServer(t)
+	hello(t, pc, 1)
+	recipe := &metadata.Recipe{
+		FileMeta: metadata.FileMeta{Path: "/probe.tar", FileSize: 10, NumSecrets: 1},
+		Entries: []metadata.RecipeEntry{
+			{ShareFP: metadata.FingerprintOf([]byte("never uploaded")), ShareSize: 5, SecretSize: 10},
+		},
+	}
+	rtyp, reply := call(t, pc, protocol.MsgPutRecipe, recipe.Marshal())
+	if rtyp != protocol.MsgError {
+		t.Fatalf("probe recipe accepted: type %d", rtyp)
+	}
+	re, _ := protocol.DecodeError(reply)
+	if re.Code != protocol.CodeBadRequest {
+		t.Fatalf("error code %d", re.Code)
+	}
+}
+
+func TestGetSharesOwnershipEnforced(t *testing.T) {
+	// User 2 must not fetch user 1's share even knowing its fingerprint
+	// (the §3.3 side-channel attack).
+	srv, pc1 := testServer(t)
+	hello(t, pc1, 1)
+	shareData := []byte("user 1's sensitive share")
+	call(t, pc1, protocol.MsgPutShares, protocol.EncodeShareBatch([]protocol.ShareUpload{
+		{SecretSeq: 0, SecretSize: 10, Data: shareData},
+	}))
+	fp := metadata.FingerprintOf(shareData)
+
+	a, b := net.Pipe()
+	go srv.ServeConn(a)
+	pc2 := protocol.NewConn(b)
+	defer pc2.Close()
+	hello(t, pc2, 2)
+	rtyp, reply := call(t, pc2, protocol.MsgGetShares, protocol.EncodeFingerprints([]metadata.Fingerprint{fp}))
+	if rtyp != protocol.MsgError {
+		t.Fatal("user 2 fetched user 1's share by fingerprint")
+	}
+	re, _ := protocol.DecodeError(reply)
+	if re.Code != protocol.CodeNotFound {
+		t.Fatalf("error code %d, want not-found (no existence oracle)", re.Code)
+	}
+	// Crucially: the same error as for a share that does not exist at all.
+	rtyp, reply2 := call(t, pc2, protocol.MsgGetShares,
+		protocol.EncodeFingerprints([]metadata.Fingerprint{metadata.FingerprintOf([]byte("ghost"))}))
+	if rtyp != protocol.MsgError {
+		t.Fatal("ghost share fetch did not error")
+	}
+	re2, _ := protocol.DecodeError(reply2)
+	if re2.Code != re.Code {
+		t.Fatal("distinguishable errors leak share existence across users")
+	}
+}
+
+func TestGetRecipeNotFound(t *testing.T) {
+	_, pc := testServer(t)
+	hello(t, pc, 1)
+	rtyp, reply := call(t, pc, protocol.MsgGetRecipe, protocol.EncodeString("/missing.tar"))
+	if rtyp != protocol.MsgError {
+		t.Fatalf("reply %d", rtyp)
+	}
+	re, _ := protocol.DecodeError(reply)
+	if re.Code != protocol.CodeNotFound {
+		t.Fatalf("code %d", re.Code)
+	}
+}
+
+func TestDeleteFileNotFound(t *testing.T) {
+	_, pc := testServer(t)
+	hello(t, pc, 1)
+	rtyp, _ := call(t, pc, protocol.MsgDeleteFile, protocol.EncodeString("/missing.tar"))
+	if rtyp != protocol.MsgError {
+		t.Fatalf("reply %d", rtyp)
+	}
+}
+
+func TestMalformedPayloadsSurviveSession(t *testing.T) {
+	_, pc := testServer(t)
+	hello(t, pc, 1)
+	// A malformed query must produce MsgError but keep the session alive.
+	rtyp, _ := call(t, pc, protocol.MsgQuery, []byte{1, 2})
+	if rtyp != protocol.MsgError {
+		t.Fatalf("reply %d", rtyp)
+	}
+	// Session still works.
+	rtyp, _ = call(t, pc, protocol.MsgListFiles, nil)
+	if rtyp != protocol.MsgFileList {
+		t.Fatalf("session dead after malformed payload: %d", rtyp)
+	}
+}
+
+func TestUnknownMessageType(t *testing.T) {
+	_, pc := testServer(t)
+	hello(t, pc, 1)
+	rtyp, _ := call(t, pc, 200, nil)
+	if rtyp != protocol.MsgError {
+		t.Fatalf("reply %d", rtyp)
+	}
+}
+
+func TestServerPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	backend := storage.NewMemory()
+	srv, err := New(Config{CloudIndex: 0, N: 4, K: 3, IndexDir: dir, Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	go srv.ServeConn(a)
+	pc := protocol.NewConn(b)
+	hello(t, pc, 1)
+	shareData := []byte("durable share")
+	call(t, pc, protocol.MsgPutShares, protocol.EncodeShareBatch([]protocol.ShareUpload{
+		{SecretSeq: 0, SecretSize: 13, Data: shareData},
+	}))
+	pc.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := New(Config{CloudIndex: 0, N: 4, K: 3, IndexDir: dir, Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	a2, b2 := net.Pipe()
+	go srv2.ServeConn(a2)
+	pc2 := protocol.NewConn(b2)
+	defer pc2.Close()
+	hello(t, pc2, 1)
+	fp := metadata.FingerprintOf(shareData)
+	rtyp, reply := call(t, pc2, protocol.MsgQuery, protocol.EncodeFingerprints([]metadata.Fingerprint{fp}))
+	if rtyp != protocol.MsgQueryResult {
+		t.Fatalf("reply %d", rtyp)
+	}
+	owned, _ := protocol.DecodeBitmap(reply)
+	if !owned[0] {
+		t.Fatal("share ownership lost across server restart")
+	}
+	// And the share content survives too.
+	rtyp, reply = call(t, pc2, protocol.MsgGetShares, protocol.EncodeFingerprints([]metadata.Fingerprint{fp}))
+	if rtyp != protocol.MsgShares {
+		t.Fatalf("get shares reply %d", rtyp)
+	}
+	shares, _ := protocol.DecodeShares(reply)
+	if len(shares) != 1 || string(shares[0].Data) != string(shareData) {
+		t.Fatal("share content lost across restart")
+	}
+}
+
+func TestBackendFailureSurfacesAsError(t *testing.T) {
+	backend := storage.NewFaulty(storage.NewMemory())
+	srv, err := New(Config{CloudIndex: 0, N: 4, K: 3, IndexDir: t.TempDir(), Backend: backend, ContainerCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	a, b := net.Pipe()
+	go srv.ServeConn(a)
+	pc := protocol.NewConn(b)
+	defer pc.Close()
+	hello(t, pc, 1)
+	backend.Fail()
+	// Tiny container capacity forces an immediate backend write, which
+	// must surface as an error (session then terminates).
+	payload := protocol.EncodeShareBatch([]protocol.ShareUpload{
+		{SecretSeq: 0, SecretSize: 64, Data: make([]byte, 128)},
+	})
+	if err := pc.WriteMsg(protocol.MsgPutShares, payload); err != nil {
+		t.Fatal(err)
+	}
+	rtyp, reply, err := pc.ReadMsg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtyp != protocol.MsgError {
+		t.Fatalf("reply %d", rtyp)
+	}
+	re, derr := protocol.DecodeError(reply)
+	if derr != nil || re.Code != protocol.CodeInternal {
+		t.Fatalf("got %+v (%v), want internal error", re, derr)
+	}
+}
