@@ -1,0 +1,3 @@
+module cdstore
+
+go 1.21

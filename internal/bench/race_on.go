@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. Timing
+// assertions (not measurements) consult it: race instrumentation
+// multiplies the CPU cost of the benchmark workload while the modeled
+// backend latency stays fixed, which distorts CPU/I-O ratios.
+const raceEnabled = true

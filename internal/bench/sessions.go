@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"cdstore/internal/metadata"
+	"cdstore/internal/protocol"
+	"cdstore/internal/server"
+	"cdstore/internal/storage"
+)
+
+// ---------------------------------------------------- concurrent sessions
+
+// SessionRow is one measurement of the concurrent-session benchmark: M
+// sessions (distinct users) hammering one per-cloud server with unique
+// shares, the multi-session workload the sharded dedup index exists for.
+type SessionRow struct {
+	Sessions     int
+	Mode         string // "sharded" or "serial" (single-mutex baseline)
+	Shares       int    // total shares pushed across all sessions
+	Elapsed      time.Duration
+	SharesPerSec float64
+	MBps         float64
+}
+
+// latencyBackend models a cloud object store: every Put pays a fixed
+// round-trip latency plus a bandwidth-proportional transfer time (the
+// Table 2 regime, where a 4MB container upload takes ~0.2-1s). The
+// single-mutex baseline holds its global lock across these waits, so
+// concurrent sessions serialize on each other's container flushes; the
+// sharded server only blocks the flushing user's stripe.
+type latencyBackend struct {
+	storage.Backend
+	putLatency  time.Duration
+	bytesPerSec float64
+}
+
+func (l *latencyBackend) Put(name string, data []byte) error {
+	time.Sleep(l.putLatency + time.Duration(float64(len(data))/l.bytesPerSec*float64(time.Second)))
+	return l.Backend.Put(name, data)
+}
+
+// sessionShare fills buf with the unique content of share i of one
+// session: a cheap xorshift stream seeded by (session, i), so every
+// share is globally unique and the server's inter-user dedup finds no
+// duplicates (the worst case for index and container contention).
+func sessionShare(buf []byte, session, i int) {
+	x := uint64(session)<<32 ^ uint64(i)<<1 ^ 0x9E3779B97F4A7C15
+	for off := 0; off+8 <= len(buf); off += 8 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		binary.LittleEndian.PutUint64(buf[off:], x)
+	}
+}
+
+// ConcurrentSessions measures aggregate upload throughput with M
+// concurrent sessions against one server. Each session authenticates as
+// its own user and pushes sharesPerSession unique shares of shareSize
+// bytes in query+put batches of batchShares, mimicking the client's
+// two-stage dedup exchange. The server writes 64KB containers to a
+// latency-shaped backend (cloud-storage regime), so what the benchmark
+// exposes is exactly what the sharding buys: sessions blocking on their
+// own container I/O instead of on one another's critical sections.
+// serialize=true runs the server with Config.SerializeSessions — the
+// pre-sharding single-mutex baseline — so the sharded index's speedup
+// is measured, not asserted.
+func ConcurrentSessions(sessions, sharesPerSession, shareSize int, serialize bool) (SessionRow, error) {
+	const batchShares = 64
+	dir, err := os.MkdirTemp("", "cdstore-bench-")
+	if err != nil {
+		return SessionRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := server.New(server.Config{
+		CloudIndex: 0, N: 4, K: 3,
+		IndexDir: dir,
+		Backend: &latencyBackend{
+			Backend:     storage.NewMemory(),
+			putLatency:  2 * time.Millisecond,
+			bytesPerSec: 100 << 20, // ~100MB/s, the Table 2 LAN regime
+		},
+		ContainerCapacity: 64 << 10,
+		SerializeSessions: serialize,
+	})
+	if err != nil {
+		return SessionRow{}, err
+	}
+	defer srv.Close()
+
+	errCh := make(chan error, sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(sessionID int) {
+			defer wg.Done()
+			errCh <- runUploadSession(srv, sessionID, sharesPerSession, shareSize, batchShares)
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return SessionRow{}, err
+		}
+	}
+	total := sessions * sharesPerSession
+	mode := "sharded"
+	if serialize {
+		mode = "serial"
+	}
+	return SessionRow{
+		Sessions:     sessions,
+		Mode:         mode,
+		Shares:       total,
+		Elapsed:      elapsed,
+		SharesPerSec: float64(total) / elapsed.Seconds(),
+		MBps:         float64(total) * float64(shareSize) / (1 << 20) / elapsed.Seconds(),
+	}, nil
+}
+
+// runUploadSession is one benchmark session: hello, then query+put
+// rounds until sharesPerSession unique shares are uploaded.
+func runUploadSession(srv *server.Server, sessionID, sharesPerSession, shareSize, batchShares int) error {
+	a, b := net.Pipe()
+	go srv.ServeConn(a)
+	pc := protocol.NewConn(b)
+	defer pc.Close()
+
+	call := func(reqType byte, payload []byte, wantType byte) ([]byte, error) {
+		if err := pc.WriteMsg(reqType, payload); err != nil {
+			return nil, err
+		}
+		typ, reply, err := pc.ReadMsg()
+		if err != nil {
+			return nil, err
+		}
+		if typ != wantType {
+			return nil, fmt.Errorf("bench session %d: reply type %d, want %d", sessionID, typ, wantType)
+		}
+		return reply, nil
+	}
+
+	// Benchmark user IDs start at 1 (user 0 is reserved-looking).
+	if _, err := call(protocol.MsgHello, protocol.EncodeHello(uint64(sessionID+1)), protocol.MsgHelloOK); err != nil {
+		return err
+	}
+	buf := make([]byte, shareSize)
+	for done := 0; done < sharesPerSession; {
+		n := batchShares
+		if sharesPerSession-done < n {
+			n = sharesPerSession - done
+		}
+		fps := make([]metadata.Fingerprint, n)
+		batch := make([]protocol.ShareUpload, n)
+		for i := 0; i < n; i++ {
+			sessionShare(buf, sessionID, done+i)
+			data := append([]byte(nil), buf...)
+			fps[i] = metadata.FingerprintOf(data)
+			batch[i] = protocol.ShareUpload{
+				SecretSeq:  uint64(done + i),
+				SecretSize: uint32(shareSize),
+				Data:       data,
+			}
+		}
+		// The client half of two-stage dedup: query, then upload.
+		if _, err := call(protocol.MsgQuery, protocol.EncodeFingerprints(fps), protocol.MsgQueryResult); err != nil {
+			return err
+		}
+		if _, err := call(protocol.MsgPutShares, protocol.EncodeShareBatch(batch), protocol.MsgPutOK); err != nil {
+			return err
+		}
+		done += n
+	}
+	return nil
+}
+
+// ConcurrentSessionsSweep runs the benchmark for every session count in
+// counts, in both sharded and serial modes, returning serial rows first
+// for each count.
+func ConcurrentSessionsSweep(counts []int, sharesPerSession, shareSize int) ([]SessionRow, error) {
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 8}
+	}
+	var rows []SessionRow
+	for _, m := range counts {
+		for _, serialize := range []bool{true, false} {
+			row, err := ConcurrentSessions(m, sharesPerSession, shareSize, serialize)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

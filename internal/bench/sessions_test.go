@@ -1,0 +1,79 @@
+package bench
+
+import "testing"
+
+func TestConcurrentSessionsSmoke(t *testing.T) {
+	for _, serialize := range []bool{true, false} {
+		row, err := ConcurrentSessions(2, 96, 512, serialize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.Shares != 2*96 {
+			t.Fatalf("pushed %d shares, want %d", row.Shares, 2*96)
+		}
+		if row.SharesPerSec <= 0 || row.Elapsed <= 0 {
+			t.Fatalf("degenerate row: %+v", row)
+		}
+	}
+}
+
+func TestSessionSharesAreUnique(t *testing.T) {
+	// The benchmark's claim of an all-unique workload depends on the
+	// share generator never colliding across sessions or sequence.
+	seen := map[[8]byte]bool{}
+	buf := make([]byte, 64)
+	for s := 0; s < 4; s++ {
+		for i := 0; i < 256; i++ {
+			sessionShare(buf, s, i)
+			var head [8]byte
+			copy(head[:], buf)
+			if seen[head] {
+				t.Fatalf("collision at session %d share %d", s, i)
+			}
+			seen[head] = true
+		}
+	}
+}
+
+// TestShardedIndexSpeedupAt8Sessions is the PR's headline claim: with 8
+// concurrent sessions the sharded dedup index must deliver at least 2x
+// the aggregate shares/sec of the single-global-mutex baseline. The
+// speedup is structural (container-flush I/O overlaps across sessions
+// instead of serializing under one lock), so it holds even on a
+// single-core, loaded CI machine — measured locally at ~5x.
+func TestShardedIndexSpeedupAt8Sessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second measurement")
+	}
+	if raceEnabled {
+		// Race instrumentation inflates the workload's CPU share ~5x
+		// while the modeled backend latency stays fixed, compressing
+		// the I/O-overlap speedup this test asserts. CI runs this test
+		// in a dedicated non-race step.
+		t.Skip("timing assertion is not meaningful under -race")
+	}
+	serial, err := ConcurrentSessions(8, 800, 1024, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := ConcurrentSessions(8, 800, 1024, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := sharded.SharesPerSec / serial.SharesPerSec
+	t.Logf("8 sessions: serial %.0f shares/s, sharded %.0f shares/s (%.2fx)",
+		serial.SharesPerSec, sharded.SharesPerSec, speedup)
+	if speedup < 2.0 {
+		t.Fatalf("sharded index only %.2fx over single-mutex baseline, want >= 2x", speedup)
+	}
+}
+
+func BenchmarkConcurrentSessions8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row, err := ConcurrentSessions(8, 400, 1024, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(row.SharesPerSec, "shares/s")
+	}
+}

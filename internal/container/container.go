@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync"
 
 	"cdstore/internal/metadata"
 )
@@ -51,17 +52,21 @@ type Container struct {
 	Type    Type
 	UserID  uint64
 	Entries []Entry
-	index   map[metadata.Fingerprint]int
+
+	indexOnce sync.Once
+	index     map[metadata.Fingerprint]int
 }
 
-// Find returns the entry data for key, or nil.
+// Find returns the entry data for key, or nil. Safe for concurrent use:
+// cached containers are shared across restore sessions, so the lazy
+// lookup index is built exactly once.
 func (c *Container) Find(key metadata.Fingerprint) []byte {
-	if c.index == nil {
+	c.indexOnce.Do(func() {
 		c.index = make(map[metadata.Fingerprint]int, len(c.Entries))
 		for i := range c.Entries {
 			c.index[c.Entries[i].Key] = i
 		}
-	}
+	})
 	if i, ok := c.index[key]; ok {
 		return c.Entries[i].Data
 	}

@@ -51,10 +51,7 @@ func (s *Store) Rewrite(name string, keep func(metadata.Fingerprint) bool) (stri
 		}
 		return "", dropped, nil
 	}
-	s.mu.Lock()
-	newName := containerName(c.Type, c.UserID, s.nextSeq)
-	s.nextSeq++
-	s.mu.Unlock()
+	newName := containerName(c.Type, c.UserID, s.nextSeq.Add(1)-1)
 	nc := &Container{Name: newName, Type: c.Type, UserID: c.UserID, Entries: live}
 	data := nc.Marshal()
 	if err := s.backend.Put(newName, data); err != nil {

@@ -4,24 +4,37 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"cdstore/internal/cache"
 	"cdstore/internal/metadata"
 	"cdstore/internal/storage"
 )
 
+// numStripes is the number of lock stripes the Store's open buffers are
+// split across. Containers are single-user (§4.5), so striping by user
+// lets concurrent sessions of different users append — and flush full
+// containers to the backend — without blocking each other.
+const numStripes = 16
+
+// stripe guards the open write buffers of the users hashing to it.
+type stripe struct {
+	mu         sync.Mutex
+	shareBufs  map[uint64]*Writer // keyed by user ID
+	recipeBufs map[uint64]*Writer
+}
+
 // Store is the container module of one CDStore server: it maintains
 // per-user in-memory buffers for shares and recipes (§4.5 optimization 1),
 // flushes full containers to the storage backend, and serves reads through
-// an LRU container cache (§4.5 optimization 2).
+// an LRU container cache (§4.5 optimization 2). All methods are safe for
+// concurrent use; appends by different users proceed in parallel.
 type Store struct {
-	mu         sync.Mutex
-	backend    storage.Backend
-	capacity   int
-	nextSeq    uint64
-	shareBufs  map[uint64]*Writer // keyed by user ID
-	recipeBufs map[uint64]*Writer
-	cached     *cache.LRU // name -> *Container
+	backend  storage.Backend
+	capacity int
+	nextSeq  atomic.Uint64
+	stripes  [numStripes]stripe
+	cached   *cache.LRU // name -> *Container
 }
 
 // StoreOptions configures a Store.
@@ -46,11 +59,13 @@ func NewStore(backend storage.Backend, opts *StoreOptions) (*Store, error) {
 		}
 	}
 	s := &Store{
-		backend:    backend,
-		capacity:   capacity,
-		shareBufs:  make(map[uint64]*Writer),
-		recipeBufs: make(map[uint64]*Writer),
-		cached:     cache.NewLRU(cacheBytes),
+		backend:  backend,
+		capacity: capacity,
+		cached:   cache.NewLRU(cacheBytes),
+	}
+	for i := range s.stripes {
+		s.stripes[i].shareBufs = make(map[uint64]*Writer)
+		s.stripes[i].recipeBufs = make(map[uint64]*Writer)
 	}
 	names, err := backend.List()
 	if err != nil {
@@ -58,50 +73,98 @@ func NewStore(backend storage.Backend, opts *StoreOptions) (*Store, error) {
 	}
 	for _, n := range names {
 		var seq uint64
-		if parseContainerName(n, &seq) && seq >= s.nextSeq {
-			s.nextSeq = seq + 1
+		if parseContainerName(n, nil, &seq) && seq >= s.nextSeq.Load() {
+			s.nextSeq.Store(seq + 1)
 		}
 	}
 	return s, nil
+}
+
+func (s *Store) stripeFor(userID uint64) *stripe {
+	return &s.stripes[userID%numStripes]
 }
 
 func containerName(typ Type, userID, seq uint64) string {
 	return fmt.Sprintf("%s-u%d-%012d", typ, userID, seq)
 }
 
-func parseContainerName(name string, seq *uint64) bool {
+// parseContainerName extracts the owning user (optional) and sequence
+// number from a container name of the form "<type>-u<user>-<seq>".
+func parseContainerName(name string, userID, seq *uint64) bool {
 	i := strings.LastIndex(name, "-")
 	if i < 0 {
 		return false
 	}
-	_, err := fmt.Sscanf(name[i+1:], "%d", seq)
+	if seq != nil {
+		if _, err := fmt.Sscanf(name[i+1:], "%d", seq); err != nil {
+			return false
+		}
+	}
+	if userID == nil {
+		return true
+	}
+	j := strings.LastIndex(name[:i], "-u")
+	if j < 0 {
+		return false
+	}
+	_, err := fmt.Sscanf(name[j+2:i], "%d", userID)
 	return err == nil
 }
+
+// Entry re-exported note: AddShares takes container.Entry values (key +
+// data) so the server can append a whole classified batch under one
+// stripe lock.
 
 // AddShare buffers a unique share for user and returns the name of the
 // container that will hold it. Full containers flush to the backend
 // automatically.
 func (s *Store) AddShare(userID uint64, fp metadata.Fingerprint, data []byte) (string, error) {
-	return s.add(s.shareBufs, ShareContainer, userID, fp, data)
+	names, err := s.AddShares(userID, []Entry{{Key: fp, Data: data}})
+	if err != nil {
+		return "", err
+	}
+	return names[0], nil
+}
+
+// AddShares buffers a batch of unique shares for user, taking the user's
+// stripe lock once, and returns the name of the container holding each
+// share. This is the server's batched write path: index shard locks are
+// never held here, so sessions block on container I/O, not on each
+// other's index critical sections.
+func (s *Store) AddShares(userID uint64, entries []Entry) ([]string, error) {
+	st := s.stripeFor(userID)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	names := make([]string, len(entries))
+	for i := range entries {
+		name, err := s.addLocked(st.shareBufs, ShareContainer, userID, entries[i].Key, entries[i].Data)
+		if err != nil {
+			return nil, err
+		}
+		names[i] = name
+	}
+	return names, nil
 }
 
 // AddRecipe buffers a file recipe keyed by its file key.
 func (s *Store) AddRecipe(userID uint64, fileKey metadata.Fingerprint, recipe []byte) (string, error) {
-	return s.add(s.recipeBufs, RecipeContainer, userID, fileKey, recipe)
+	st := s.stripeFor(userID)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return s.addLocked(st.recipeBufs, RecipeContainer, userID, fileKey, recipe)
 }
 
-func (s *Store) add(bufs map[uint64]*Writer, typ Type, userID uint64, key metadata.Fingerprint, data []byte) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// addLocked appends one entry to the user's open writer, rotating and
+// flushing as needed. Caller holds the user's stripe lock.
+func (s *Store) addLocked(bufs map[uint64]*Writer, typ Type, userID uint64, key metadata.Fingerprint, data []byte) (string, error) {
 	w := bufs[userID]
 	if w == nil || !w.Fits(len(data)) {
 		if w != nil {
-			if err := s.flushLocked(w); err != nil {
+			if err := s.persist(w); err != nil {
 				return "", err
 			}
 		}
-		w = NewWriter(containerName(typ, userID, s.nextSeq), typ, userID, s.capacity)
-		s.nextSeq++
+		w = NewWriter(containerName(typ, userID, s.nextSeq.Add(1)-1), typ, userID, s.capacity)
 		bufs[userID] = w
 	}
 	name := w.Name()
@@ -109,7 +172,7 @@ func (s *Store) add(bufs map[uint64]*Writer, typ Type, userID uint64, key metada
 		return "", err
 	}
 	if w.Full() {
-		if err := s.flushLocked(w); err != nil {
+		if err := s.persist(w); err != nil {
 			return "", err
 		}
 		delete(bufs, userID)
@@ -117,8 +180,10 @@ func (s *Store) add(bufs map[uint64]*Writer, typ Type, userID uint64, key metada
 	return name, nil
 }
 
-// flushLocked seals and persists a writer. Caller holds s.mu.
-func (s *Store) flushLocked(w *Writer) error {
+// persist seals and writes a writer to the backend. Caller holds the
+// stripe lock owning w (so w is no longer mutated); the backend and the
+// read cache are themselves concurrency-safe.
+func (s *Store) persist(w *Writer) error {
 	if w.Len() == 0 {
 		return nil
 	}
@@ -134,37 +199,44 @@ func (s *Store) flushLocked(w *Writer) error {
 // Flush persists every open buffer (called before serving restores and on
 // shutdown).
 func (s *Store) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for u, w := range s.shareBufs {
-		if err := s.flushLocked(w); err != nil {
-			return err
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for u, w := range st.shareBufs {
+			if err := s.persist(w); err != nil {
+				st.mu.Unlock()
+				return err
+			}
+			delete(st.shareBufs, u)
 		}
-		delete(s.shareBufs, u)
-	}
-	for u, w := range s.recipeBufs {
-		if err := s.flushLocked(w); err != nil {
-			return err
+		for u, w := range st.recipeBufs {
+			if err := s.persist(w); err != nil {
+				st.mu.Unlock()
+				return err
+			}
+			delete(st.recipeBufs, u)
 		}
-		delete(s.recipeBufs, u)
+		st.mu.Unlock()
 	}
 	return nil
 }
 
-// get fetches a container: open buffers first, then the cache, then the
-// backend.
+// get fetches a container: open buffers first (located via the owning
+// user parsed from the name), then the cache, then the backend.
 func (s *Store) get(name string) (*Container, error) {
-	s.mu.Lock()
-	for _, bufs := range []map[uint64]*Writer{s.shareBufs, s.recipeBufs} {
-		for _, w := range bufs {
-			if w.Name() == name {
+	var userID uint64
+	if parseContainerName(name, &userID, nil) {
+		st := s.stripeFor(userID)
+		st.mu.Lock()
+		for _, bufs := range []map[uint64]*Writer{st.shareBufs, st.recipeBufs} {
+			if w := bufs[userID]; w != nil && w.Name() == name {
 				c := w.Seal()
-				s.mu.Unlock()
+				st.mu.Unlock()
 				return c, nil
 			}
 		}
+		st.mu.Unlock()
 	}
-	s.mu.Unlock()
 	if v, ok := s.cached.Get(name); ok {
 		return v.(*Container), nil
 	}

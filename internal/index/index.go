@@ -7,18 +7,34 @@
 // reference count (supporting intra-user deduplication decisions and
 // deletion). The file index is keyed by the hash of (user, full
 // pathname) and records the reference to the file recipe.
+//
+// Concurrency: the share index is split into NumShards lock-striped
+// shards keyed by the fingerprint's first byte. Each shard owns its own
+// mutex, its own lsmkv store (a separate directory, so recovery opens
+// shards in parallel), and its own set of in-flight reservations (see
+// ReserveShare). Sessions touching different shards never contend, which
+// is what lets one server absorb many concurrent backup sessions
+// (ROADMAP north star; the pattern CubeFS-style per-shard metadata
+// ownership uses). All exported methods are safe for concurrent use.
 package index
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"path/filepath"
+	"sync"
 
 	"cdstore/internal/lsmkv"
 	"cdstore/internal/metadata"
 )
 
-// Key prefixes inside the shared lsmkv store.
+// NumShards is the number of lock stripes (and persistence directories)
+// the share index is split into. Shard selection uses the fingerprint's
+// first byte, so shares spread uniformly (fingerprints are SHA-256).
+const NumShards = 64
+
+// Key prefixes inside the lsmkv stores.
 const (
 	sharePrefix = "s/"
 	filePrefix  = "f/"
@@ -42,28 +58,113 @@ type FileEntry struct {
 	RecipeContainer string // container holding the file recipe
 }
 
-// Index wraps the LSM store with the two CDStore indices.
-type Index struct {
+// pendingShare is one in-flight reservation: the entry accumulating
+// state before commit, plus a channel closed on commit or abort so
+// concurrent uploaders of the same fingerprint can wait for the outcome
+// instead of deduplicating against bytes that are not durable yet.
+type pendingShare struct {
+	entry *ShareEntry
+	done  chan struct{}
+}
+
+// shard is one lock stripe of the share index.
+type shard struct {
+	mu sync.Mutex
 	db *lsmkv.DB
+	// pending holds shares reserved by an in-flight upload: the share
+	// bytes have not been appended to a container yet, so there is no
+	// container name and no other session may take a dependency on the
+	// share until the reservation resolves.
+	pending map[metadata.Fingerprint]*pendingShare
+}
+
+// Index wraps the LSM stores with the two CDStore indices.
+type Index struct {
+	shards [NumShards]*shard
+	files  *lsmkv.DB
 }
 
 // ErrNotFound is returned for absent entries.
 var ErrNotFound = errors.New("index: entry not found")
 
-// Open opens (or creates) the index database in dir.
+// shardOf maps a fingerprint to its lock stripe.
+func shardOf(fp metadata.Fingerprint) int { return int(fp[0]) % NumShards }
+
+// Open opens (or creates) the index database rooted at dir. The share
+// index lives in dir/shards/NN (one lsmkv store per shard, opened in
+// parallel so recovery scans shards concurrently); the file index lives
+// in dir/files. A directory holding the retired single-store layout
+// (lsmkv files directly in dir) is rejected loudly rather than silently
+// shadowed by a fresh empty index.
 func Open(dir string) (*Index, error) {
-	db, err := lsmkv.Open(dir, nil)
-	if err != nil {
-		return nil, err
+	for _, pat := range []string{"*.sst", "wal.log"} {
+		if old, _ := filepath.Glob(filepath.Join(dir, pat)); len(old) > 0 {
+			return nil, fmt.Errorf("index: %s holds a pre-sharding single-store index (%s); migrate or re-create it before opening", dir, filepath.Base(old[0]))
+		}
 	}
-	return &Index{db: db}, nil
+	ix := &Index{}
+	var wg sync.WaitGroup
+	errs := make([]error, NumShards+1)
+	for i := 0; i < NumShards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			db, err := lsmkv.Open(filepath.Join(dir, "shards", fmt.Sprintf("%02x", i)), nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ix.shards[i] = &shard{db: db, pending: make(map[metadata.Fingerprint]*pendingShare)}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		db, err := lsmkv.Open(filepath.Join(dir, "files"), nil)
+		if err != nil {
+			errs[NumShards] = err
+			return
+		}
+		ix.files = db
+	}()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			ix.Close()
+			return nil, err
+		}
+	}
+	return ix, nil
 }
 
-// Close releases the underlying store.
-func (ix *Index) Close() error { return ix.db.Close() }
+// Close releases the underlying stores.
+func (ix *Index) Close() error {
+	var firstErr error
+	for _, sh := range ix.shards {
+		if sh == nil {
+			continue
+		}
+		if err := sh.db.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if ix.files != nil {
+		if err := ix.files.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
 
 // Flush persists in-memory state (snapshot-friendly checkpoint).
-func (ix *Index) Flush() error { return ix.db.Flush() }
+func (ix *Index) Flush() error {
+	for _, sh := range ix.shards {
+		if err := sh.db.Flush(); err != nil {
+			return err
+		}
+	}
+	return ix.files.Flush()
+}
 
 func shareKey(fp metadata.Fingerprint) []byte {
 	return append([]byte(sharePrefix), fp[:]...)
@@ -160,9 +261,10 @@ func unmarshalFileEntry(src []byte) (*FileEntry, error) {
 
 // --- share index operations ---
 
-// LookupShare returns the entry for fp, or ErrNotFound.
-func (ix *Index) LookupShare(fp metadata.Fingerprint) (*ShareEntry, error) {
-	v, err := ix.db.Get(shareKey(fp))
+// lookupLocked reads fp's persisted entry. Caller holds sh.mu (or is a
+// pure reader that tolerates racing with a concurrent commit).
+func (sh *shard) lookupLocked(fp metadata.Fingerprint) (*ShareEntry, error) {
+	v, err := sh.db.Get(shareKey(fp))
 	if err == lsmkv.ErrNotFound {
 		return nil, ErrNotFound
 	}
@@ -172,17 +274,44 @@ func (ix *Index) LookupShare(fp metadata.Fingerprint) (*ShareEntry, error) {
 	return unmarshalShareEntry(fp, v)
 }
 
+// putLocked persists e. Caller holds sh.mu.
+func (sh *shard) putLocked(e *ShareEntry) error {
+	return sh.db.Put(shareKey(e.Fingerprint), marshalShareEntry(e))
+}
+
+// LookupShare returns the committed entry for fp, or ErrNotFound.
+// Reservations still in flight (no container yet) are not visible here;
+// use ShareOwnedBy for dedup decisions, which does see them.
+func (ix *Index) LookupShare(fp metadata.Fingerprint) (*ShareEntry, error) {
+	sh := ix.shards[shardOf(fp)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.lookupLocked(fp)
+}
+
 // PutShare stores or replaces the entry.
 func (ix *Index) PutShare(e *ShareEntry) error {
-	return ix.db.Put(shareKey(e.Fingerprint), marshalShareEntry(e))
+	sh := ix.shards[shardOf(e.Fingerprint)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.putLocked(e)
 }
 
 // ShareOwnedBy answers the intra-user deduplication query: does this user
 // already own a share with this fingerprint? The answer depends only on
 // the querying user's own uploads — never on other users' state — which
-// is what makes the reply side-channel free (§3.3).
+// is what makes the reply side-channel free (§3.3). An in-flight
+// reservation counts only for the reserving user (no one else can have
+// taken a dependency on it yet).
 func (ix *Index) ShareOwnedBy(fp metadata.Fingerprint, userID uint64) (bool, error) {
-	e, err := ix.LookupShare(fp)
+	sh := ix.shards[shardOf(fp)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if pe, ok := sh.pending[fp]; ok {
+		_, owned := pe.entry.Refs[userID]
+		return owned, nil
+	}
+	e, err := sh.lookupLocked(fp)
 	if err == ErrNotFound {
 		return false, nil
 	}
@@ -193,21 +322,57 @@ func (ix *Index) ShareOwnedBy(fp metadata.Fingerprint, userID uint64) (bool, err
 	return ok, nil
 }
 
-// AddShareRef increments user's reference count on fp (which must exist).
+// AddShareRef increments user's reference count on fp (which must exist,
+// committed or reserved).
 func (ix *Index) AddShareRef(fp metadata.Fingerprint, userID uint64) error {
-	e, err := ix.LookupShare(fp)
+	sh := ix.shards[shardOf(fp)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.addRefLocked(fp, userID)
+}
+
+func (sh *shard) addRefLocked(fp metadata.Fingerprint, userID uint64) error {
+	if pe, ok := sh.pending[fp]; ok {
+		// Only the reserving session itself can reach this (its own
+		// recipe cannot arrive before its PutShares commits, and other
+		// sessions wait in ReserveShare), but stay correct if it does.
+		pe.entry.Refs[userID]++
+		return nil
+	}
+	e, err := sh.lookupLocked(fp)
 	if err != nil {
 		return err
 	}
 	e.Refs[userID]++
-	return ix.PutShare(e)
+	return sh.putLocked(e)
 }
 
 // ReleaseShareRef decrements user's reference count, dropping the user at
 // zero. It returns the remaining total reference count across all users;
 // at zero the caller may garbage-collect the share's container space.
 func (ix *Index) ReleaseShareRef(fp metadata.Fingerprint, userID uint64) (int, error) {
-	e, err := ix.LookupShare(fp)
+	sh := ix.shards[shardOf(fp)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.releaseRefLocked(fp, userID)
+}
+
+func (sh *shard) releaseRefLocked(fp metadata.Fingerprint, userID uint64) (int, error) {
+	if pe, ok := sh.pending[fp]; ok {
+		if c, has := pe.entry.Refs[userID]; has {
+			if c <= 1 {
+				delete(pe.entry.Refs, userID)
+			} else {
+				pe.entry.Refs[userID] = c - 1
+			}
+		}
+		total := 0
+		for _, c := range pe.entry.Refs {
+			total += int(c)
+		}
+		return total, nil
+	}
+	e, err := sh.lookupLocked(fp)
 	if err != nil {
 		return 0, err
 	}
@@ -223,24 +388,24 @@ func (ix *Index) ReleaseShareRef(fp metadata.Fingerprint, userID uint64) (int, e
 		total += int(c)
 	}
 	if len(e.Refs) == 0 {
-		if err := ix.db.Delete(shareKey(fp)); err != nil {
+		if err := sh.db.Delete(shareKey(fp)); err != nil {
 			return 0, err
 		}
 		return 0, nil
 	}
-	return total, ix.PutShare(e)
+	return total, sh.putLocked(e)
 }
 
 // --- file index operations ---
 
 // PutFile stores or replaces a file entry.
 func (ix *Index) PutFile(e *FileEntry) error {
-	return ix.db.Put(fileKey(e.UserID, e.Path), marshalFileEntry(e))
+	return ix.files.Put(fileKey(e.UserID, e.Path), marshalFileEntry(e))
 }
 
 // LookupFile returns the entry for (userID, path), or ErrNotFound.
 func (ix *Index) LookupFile(userID uint64, path string) (*FileEntry, error) {
-	v, err := ix.db.Get(fileKey(userID, path))
+	v, err := ix.files.Get(fileKey(userID, path))
 	if err == lsmkv.ErrNotFound {
 		return nil, ErrNotFound
 	}
@@ -252,7 +417,7 @@ func (ix *Index) LookupFile(userID uint64, path string) (*FileEntry, error) {
 
 // DeleteFile removes the entry for (userID, path).
 func (ix *Index) DeleteFile(userID uint64, path string) error {
-	return ix.db.Delete(fileKey(userID, path))
+	return ix.files.Delete(fileKey(userID, path))
 }
 
 // ListFiles returns every file entry of one user, ordered by file key.
@@ -261,7 +426,7 @@ func (ix *Index) ListFiles(userID uint64) ([]*FileEntry, error) {
 	prefix = append(prefix, filePrefix...)
 	prefix = binary.BigEndian.AppendUint64(prefix, userID)
 	var out []*FileEntry
-	err := ix.db.Scan(prefix, func(_, v []byte) error {
+	err := ix.files.Scan(prefix, func(_, v []byte) error {
 		e, err := unmarshalFileEntry(v)
 		if err != nil {
 			return err
@@ -272,9 +437,15 @@ func (ix *Index) ListFiles(userID uint64) ([]*FileEntry, error) {
 	return out, err
 }
 
-// CountShares returns the number of unique shares indexed (stats helper).
+// CountShares returns the number of unique committed shares indexed
+// (stats helper).
 func (ix *Index) CountShares() (int, error) {
 	n := 0
-	err := ix.db.Scan([]byte(sharePrefix), func(_, _ []byte) error { n++; return nil })
-	return n, err
+	for _, sh := range ix.shards {
+		err := sh.db.Scan([]byte(sharePrefix), func(_, _ []byte) error { n++; return nil })
+		if err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
 }

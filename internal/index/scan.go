@@ -1,27 +1,38 @@
 package index
 
 import (
+	"sync"
+
 	"cdstore/internal/metadata"
 )
 
-// ScanShares visits every share entry (garbage collection support).
-// fn must not mutate the index (see lsmkv.DB.Scan's locking contract);
-// collect entries during the scan and write after it returns.
+// ScanShares visits every committed share entry, shard by shard (garbage
+// collection support). fn must not mutate the index (see
+// lsmkv.DB.Scan's locking contract); collect entries during the scan and
+// write after it returns. In-flight reservations are not visited —
+// callers that need a stable view (GC) must already be serialized
+// against uploads, at which point no reservations exist.
 func (ix *Index) ScanShares(fn func(*ShareEntry) error) error {
-	return ix.db.Scan([]byte(sharePrefix), func(k, v []byte) error {
-		var fp metadata.Fingerprint
-		copy(fp[:], k[len(sharePrefix):])
-		e, err := unmarshalShareEntry(fp, v)
+	for _, sh := range ix.shards {
+		err := sh.db.Scan([]byte(sharePrefix), func(k, v []byte) error {
+			var fp metadata.Fingerprint
+			copy(fp[:], k[len(sharePrefix):])
+			e, err := unmarshalShareEntry(fp, v)
+			if err != nil {
+				return err
+			}
+			return fn(e)
+		})
 		if err != nil {
 			return err
 		}
-		return fn(e)
-	})
+	}
+	return nil
 }
 
 // ScanFiles visits every file entry of every user.
 func (ix *Index) ScanFiles(fn func(*FileEntry) error) error {
-	return ix.db.Scan([]byte(filePrefix), func(_, v []byte) error {
+	return ix.files.Scan([]byte(filePrefix), func(_, v []byte) error {
 		e, err := unmarshalFileEntry(v)
 		if err != nil {
 			return err
@@ -30,6 +41,24 @@ func (ix *Index) ScanFiles(fn func(*FileEntry) error) error {
 	})
 }
 
-// Compact merges the underlying LSM store (dropping tombstones), shrinking
-// the index after heavy deletion churn.
-func (ix *Index) Compact() error { return ix.db.Compact() }
+// Compact merges the underlying LSM stores (dropping tombstones),
+// shrinking the index after heavy deletion churn. Shards compact in
+// parallel.
+func (ix *Index) Compact() error {
+	var wg sync.WaitGroup
+	errs := make([]error, NumShards)
+	for i, sh := range ix.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			errs[i] = sh.db.Compact()
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ix.files.Compact()
+}

@@ -1,0 +1,206 @@
+package index
+
+import (
+	"fmt"
+
+	"cdstore/internal/metadata"
+)
+
+// This file holds the two-phase upload API that keeps container I/O out
+// of the shard critical sections. The server's put path is:
+//
+//	reserved, _ := ix.ReserveShare(fp, user, size)   // shard lock only
+//	if reserved {
+//	    name, _ := store.AddShare(user, fp, data)    // container I/O, no index lock
+//	    ix.CommitShare(fp, name)                     // shard lock only
+//	}
+//
+// A session that uploads a share whose fingerprint another session has
+// reserved but not yet committed WAITS for the reservation to resolve
+// (commit or abort) and then re-classifies. Nobody is ever recorded as
+// an owner of bytes that are not durably placed: if the reserver's
+// container append fails, the abort wakes the waiters, one of them wins
+// the next reservation, and — since every uploader still holds the
+// share bytes — the share is stored by whoever succeeds. Two sessions
+// uploading the same new share therefore still store it exactly once,
+// the invariant the old single global mutex enforced, without any
+// session holding an index lock across backend writes.
+//
+// DEADLOCK RULE: a caller must not wait (ReserveShare) while holding
+// uncommitted reservations of its own — two batches holding
+// reservations and waiting on each other's would deadlock. The server
+// therefore classifies whole batches with the non-blocking
+// TryReserveShare, commits its wins, and only then resolves contested
+// fingerprints with the blocking ReserveShare, holding nothing.
+
+// ReserveStatus is TryReserveShare's classification of one upload.
+type ReserveStatus int
+
+const (
+	// StatusReserved: the caller won the reservation and must place the
+	// bytes then CommitShare (or AbortShare).
+	StatusReserved ReserveStatus = iota
+	// StatusDuplicate: the share is committed; ownership was recorded,
+	// the caller stores nothing.
+	StatusDuplicate
+	// StatusPending: another session's reservation is in flight; the
+	// caller must retry once it resolves (see ReserveShare / WaitShare).
+	StatusPending
+)
+
+// TryReserveShare decides the fate of one uploaded share atomically
+// under its shard lock, never blocking. On StatusReserved the
+// reservation records userID as an owner at count 0 (the §4.4 upload
+// marker).
+func (ix *Index) TryReserveShare(fp metadata.Fingerprint, userID uint64, size uint32) (ReserveStatus, error) {
+	sh := ix.shards[shardOf(fp)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.pending[fp]; ok {
+		return StatusPending, nil
+	}
+	e, lerr := sh.lookupLocked(fp)
+	switch {
+	case lerr == nil:
+		if _, owned := e.Refs[userID]; !owned {
+			e.Refs[userID] = 0
+			return StatusDuplicate, sh.putLocked(e)
+		}
+		return StatusDuplicate, nil
+	case lerr == ErrNotFound:
+		sh.pending[fp] = &pendingShare{
+			entry: &ShareEntry{
+				Fingerprint: fp,
+				Size:        size,
+				Refs:        map[uint64]uint32{userID: 0},
+			},
+			done: make(chan struct{}),
+		}
+		return StatusReserved, nil
+	default:
+		return StatusPending, lerr
+	}
+}
+
+// ReserveShare is the blocking form of TryReserveShare: if another
+// session's reservation is in flight it waits for the outcome and
+// re-classifies. reserved=true means the caller must place the bytes
+// and CommitShare (or AbortShare). Per the deadlock rule above, do not
+// call this while holding uncommitted reservations.
+func (ix *Index) ReserveShare(fp metadata.Fingerprint, userID uint64, size uint32) (reserved bool, err error) {
+	for {
+		st, err := ix.TryReserveShare(fp, userID, size)
+		if err != nil {
+			return false, err
+		}
+		switch st {
+		case StatusReserved:
+			return true, nil
+		case StatusDuplicate:
+			return false, nil
+		case StatusPending:
+			ix.waitShare(fp)
+		}
+	}
+}
+
+// waitShare blocks until fp has no in-flight reservation.
+func (ix *Index) waitShare(fp metadata.Fingerprint) {
+	sh := ix.shards[shardOf(fp)]
+	sh.mu.Lock()
+	pe, ok := sh.pending[fp]
+	if !ok {
+		sh.mu.Unlock()
+		return
+	}
+	done := pe.done
+	sh.mu.Unlock()
+	<-done
+}
+
+// CommitShare persists a reserved share's entry now that its bytes live
+// in the named container, then wakes any sessions waiting on the
+// reservation (they re-classify and find a committed duplicate).
+func (ix *Index) CommitShare(fp metadata.Fingerprint, containerName string) error {
+	sh := ix.shards[shardOf(fp)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	pe, ok := sh.pending[fp]
+	if !ok {
+		return fmt.Errorf("index: commit of unreserved share %s", fp)
+	}
+	delete(sh.pending, fp)
+	close(pe.done)
+	pe.entry.Container = containerName
+	return sh.putLocked(pe.entry)
+}
+
+// AbortShare drops a reservation whose container append failed and
+// wakes any waiting sessions. Because uploaders of an in-flight
+// fingerprint wait rather than deduplicate against the reservation, no
+// other session has taken a dependency on the aborted share: a woken
+// waiter simply reserves and stores its own copy of the bytes.
+func (ix *Index) AbortShare(fp metadata.Fingerprint) {
+	sh := ix.shards[shardOf(fp)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if pe, ok := sh.pending[fp]; ok {
+		delete(sh.pending, fp)
+		close(pe.done)
+	}
+}
+
+// groupByShard buckets fingerprints by their shard so batch operations
+// take each shard lock exactly once.
+func groupByShard(fps []metadata.Fingerprint) [][]metadata.Fingerprint {
+	groups := make([][]metadata.Fingerprint, NumShards)
+	for _, fp := range fps {
+		s := shardOf(fp)
+		groups[s] = append(groups[s], fp)
+	}
+	return groups
+}
+
+// AddShareRefs increments userID's reference count on every fingerprint,
+// taking each touched shard's lock once. Every fingerprint must exist
+// (committed or reserved); on a missing one the error reports it and the
+// batch stops, leaving earlier increments applied — callers treat this
+// as a fatal recipe error.
+func (ix *Index) AddShareRefs(fps []metadata.Fingerprint, userID uint64) error {
+	for s, group := range groupByShard(fps) {
+		if len(group) == 0 {
+			continue
+		}
+		sh := ix.shards[s]
+		sh.mu.Lock()
+		for _, fp := range group {
+			if err := sh.addRefLocked(fp, userID); err != nil {
+				sh.mu.Unlock()
+				return fmt.Errorf("index: add ref %s: %w", fp, err)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// ReleaseShareRefs decrements userID's reference count on every
+// fingerprint, taking each touched shard's lock once. Fingerprints that
+// are no longer indexed are skipped (deletion is idempotent).
+func (ix *Index) ReleaseShareRefs(fps []metadata.Fingerprint, userID uint64) error {
+	for s, group := range groupByShard(fps) {
+		if len(group) == 0 {
+			continue
+		}
+		sh := ix.shards[s]
+		sh.mu.Lock()
+		for _, fp := range group {
+			if _, err := sh.releaseRefLocked(fp, userID); err != nil && err != ErrNotFound {
+				sh.mu.Unlock()
+				return err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}

@@ -1,8 +1,11 @@
 package protocol
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
+
+	"cdstore/internal/metadata"
 )
 
 // TestDecodersNeverPanicOnGarbage feeds random byte strings to every
@@ -20,6 +23,9 @@ func TestDecodersNeverPanicOnGarbage(t *testing.T) {
 		"FileList":     func(p []byte) { _, _ = DecodeFileList(p) },
 		"Error":        func(p []byte) { _, _ = DecodeError(p) },
 		"PutOK":        func(p []byte) { _, _ = DecodePutOK(p) },
+		// MsgPutRecipe payloads decode through metadata.UnmarshalRecipe
+		// on the server; it faces the same attacker-controlled bytes.
+		"Recipe": func(p []byte) { _, _ = metadata.UnmarshalRecipe(p) },
 	}
 	for name, dec := range decoders {
 		dec := dec
@@ -34,6 +40,86 @@ func TestDecodersNeverPanicOnGarbage(t *testing.T) {
 		}, &quick.Config{MaxCount: 500})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// realRecipeCorpus builds the seed corpus for FuzzRecipeUnmarshal the
+// way a real backup would: recipes whose entries carry fingerprints of
+// actual share-sized payloads, including the empty file, a one-secret
+// file, and a multi-secret file with a long path.
+func realRecipeCorpus() [][]byte {
+	mkEntries := func(n int) []metadata.RecipeEntry {
+		entries := make([]metadata.RecipeEntry, n)
+		for i := range entries {
+			share := bytes.Repeat([]byte{byte(i + 1)}, 1400+i)
+			entries[i] = metadata.RecipeEntry{
+				ShareFP:    metadata.FingerprintOf(share),
+				ShareSize:  uint32(len(share)),
+				SecretSize: uint32(4096),
+			}
+		}
+		return entries
+	}
+	empty := &metadata.Recipe{FileMeta: metadata.FileMeta{Path: "/empty", FileSize: 0, NumSecrets: 0}}
+	one := &metadata.Recipe{
+		FileMeta: metadata.FileMeta{Path: "/one.bin", FileSize: 4096, NumSecrets: 1},
+		Entries:  mkEntries(1),
+	}
+	backup := &metadata.Recipe{
+		FileMeta: metadata.FileMeta{
+			Path:       "/home/user42/backups/week-03/projects.tar",
+			FileSize:   64 * 4096,
+			NumSecrets: 64,
+		},
+		Entries: mkEntries(64),
+	}
+	return [][]byte{empty.Marshal(), one.Marshal(), backup.Marshal()}
+}
+
+// FuzzRecipeUnmarshal feeds attacker-supplied bytes to the recipe
+// decoder the server runs on every MsgPutRecipe. It must never panic,
+// never allocate out of proportion to the input (a forged entry count
+// must not pre-allocate gigabytes), and accepted inputs must round-trip
+// canonically.
+func FuzzRecipeUnmarshal(f *testing.F) {
+	for _, seed := range realRecipeCorpus() {
+		f.Add(seed)
+	}
+	// Hand-crafted liars: absurd entry count, truncated path, bad version.
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Add([]byte{2, 0, 0, 0, 0})
+	f.Add([]byte{1, 0, 0, 0, 4, 'a', 'b'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := metadata.UnmarshalRecipe(data)
+		if err != nil {
+			return
+		}
+		// Entries are 40 bytes each on the wire: the decoder must not
+		// have allocated more entries than the payload can hold.
+		if cap(r.Entries) > len(data) {
+			t.Fatalf("over-allocation: %d entries capacity from %d input bytes", cap(r.Entries), len(data))
+		}
+		round := r.Marshal()
+		if !bytes.Equal(round, data) {
+			t.Fatalf("accepted recipe is not canonical:\n in  %x\n out %x", data, round)
+		}
+	})
+}
+
+// TestRecipeCorpusRoundTrips pins the seed corpus as valid so the fuzz
+// target starts from accepting inputs even in plain `go test` runs.
+func TestRecipeCorpusRoundTrips(t *testing.T) {
+	for i, seed := range realRecipeCorpus() {
+		r, err := metadata.UnmarshalRecipe(seed)
+		if err != nil {
+			t.Fatalf("corpus %d rejected: %v", i, err)
+		}
+		if !bytes.Equal(r.Marshal(), seed) {
+			t.Fatalf("corpus %d does not round-trip", i)
+		}
+		if uint64(len(r.Entries)) != r.NumSecrets {
+			t.Fatalf("corpus %d: %d entries vs %d secrets", i, len(r.Entries), r.NumSecrets)
 		}
 	}
 }

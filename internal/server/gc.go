@@ -28,11 +28,13 @@ type GCStats struct {
 //     and every recipe container dropping orphaned recipes; repoint index
 //     entries at the rewritten containers.
 //
-// GC must not run concurrently with uploads; the server serializes it
-// against share mutations.
+// GC must not run concurrently with uploads: it takes the write side of
+// gcMu, stopping the world while sessions' request handlers hold the
+// read side. With no uploads in flight, the sharded index holds no
+// reservations, so ScanShares sees every share.
 func (s *Server) GC() (*GCStats, error) {
-	s.shareMu.Lock()
-	defer s.shareMu.Unlock()
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
 	if err := s.store.Flush(); err != nil {
 		return nil, err
 	}

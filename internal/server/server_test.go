@@ -1,8 +1,10 @@
 package server
 
 import (
+	"fmt"
 	"net"
 	"testing"
+	"time"
 
 	"cdstore/internal/metadata"
 	"cdstore/internal/protocol"
@@ -114,6 +116,112 @@ func TestPutSharesAndServerSideFingerprinting(t *testing.T) {
 	st := srv.Stats()
 	if st.SharesReceived != 2 || st.SharesStored != 1 {
 		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPutSharesBatchWithRepeatedContent(t *testing.T) {
+	// A batch repeating the same share content (client bug or malice)
+	// must store it once and must not deadlock the session on its own
+	// reservation.
+	_, pc := testServer(t)
+	hello(t, pc, 1)
+	data := []byte("repeated share content")
+	batch := protocol.EncodeShareBatch([]protocol.ShareUpload{
+		{SecretSeq: 0, SecretSize: 22, Data: data},
+		{SecretSeq: 1, SecretSize: 22, Data: data},
+		{SecretSeq: 2, SecretSize: 22, Data: data},
+	})
+	done := make(chan struct{})
+	var rtyp byte
+	var reply []byte
+	go func() {
+		defer close(done)
+		rtyp, reply = call(t, pc, protocol.MsgPutShares, batch)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("put of a self-duplicating batch hung")
+	}
+	if rtyp != protocol.MsgPutOK {
+		t.Fatalf("reply %d", rtyp)
+	}
+	if stored, _ := protocol.DecodePutOK(reply); stored != 1 {
+		t.Fatalf("stored %d copies of identical content, want 1", stored)
+	}
+}
+
+// TestConcurrentSameContentSessionsNoDeadlock regression-tests the
+// cross-batch deadlock: sessions uploading the SAME new shares in
+// DIFFERENT orders split the reservation wins, and a session that
+// waited on another's reservation while holding its own would deadlock
+// (hold-and-wait cycle). The four-pass put path defers contested
+// fingerprints instead. Every share must still be stored exactly once.
+func TestConcurrentSameContentSessionsNoDeadlock(t *testing.T) {
+	srv, _ := testServer(t)
+	const (
+		sessions  = 4
+		shares    = 128
+		shareSize = 256
+	)
+	content := make([][]byte, shares)
+	for i := range content {
+		content[i] = make([]byte, shareSize)
+		for j := range content[i] {
+			content[i][j] = byte(i*31 + j)
+		}
+	}
+	done := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		go func(s int) {
+			a, b := net.Pipe()
+			go srv.ServeConn(a)
+			pc := protocol.NewConn(b)
+			defer pc.Close()
+			if err := pc.WriteMsg(protocol.MsgHello, protocol.EncodeHello(uint64(s+1))); err != nil {
+				done <- err
+				return
+			}
+			if _, _, err := pc.ReadMsg(); err != nil {
+				done <- err
+				return
+			}
+			// Per-session share order: rotated so reservation wins split
+			// across sessions and interleave in conflicting orders.
+			batch := make([]protocol.ShareUpload, shares)
+			for i := 0; i < shares; i++ {
+				idx := (i*(s*2+1) + s*17) % shares
+				batch[i] = protocol.ShareUpload{SecretSeq: uint64(i), SecretSize: shareSize, Data: content[idx]}
+			}
+			if err := pc.WriteMsg(protocol.MsgPutShares, protocol.EncodeShareBatch(batch)); err != nil {
+				done <- err
+				return
+			}
+			typ, _, err := pc.ReadMsg()
+			if err != nil {
+				done <- err
+				return
+			}
+			if typ != protocol.MsgPutOK {
+				done <- fmt.Errorf("unexpected reply type %d", typ)
+				return
+			}
+			done <- nil
+		}(s)
+	}
+	for i := 0; i < sessions; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("concurrent same-content sessions deadlocked")
+		}
+	}
+	st := srv.Stats()
+	if st.SharesStored != shares {
+		t.Fatalf("stored %d unique shares, want %d", st.SharesStored, shares)
 	}
 }
 
