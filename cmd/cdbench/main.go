@@ -8,11 +8,17 @@
 // where <experiment> is one of:
 //
 //	table1 table2 fig5a fig5b fig6 fig7a fig7b fig8 fig9a fig9b
-//	ablation sessions all
+//	ablation sessions encode all
 //
 // "sessions" goes beyond the paper: it measures aggregate multi-session
 // upload throughput against one server, comparing the sharded dedup
 // index with the single-global-mutex baseline.
+//
+// "encode" also goes beyond the paper: it measures the wide GF(2^8)
+// kernels against the forced-scalar baseline (single-thread
+// reedsolomon.Encode) and then drives a real n-cloud cluster through
+// full client encoding — chunk, CAONT, RS, fingerprint, dedup query,
+// upload — reporting end-to-end MB/s.
 //
 // -quick shrinks data volumes for a fast smoke run; the default sizes
 // take a few minutes in total (the shaped WAN runs are real-time).
@@ -32,7 +38,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink data volumes for a fast run")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cdbench [-quick] <table1|table2|fig5a|fig5b|fig6|fig7a|fig7b|fig8|fig9a|fig9b|ablation|sessions|all>")
+		fmt.Fprintln(os.Stderr, "usage: cdbench [-quick] <table1|table2|fig5a|fig5b|fig6|fig7a|fig7b|fig8|fig9a|fig9b|ablation|sessions|encode|all>")
 		os.Exit(2)
 	}
 	exp := flag.Arg(0)
@@ -67,13 +73,42 @@ func main() {
 	run("fig9b", func() error { return fig9b() })
 	run("ablation", func() error { return ablation(*quick) })
 	run("sessions", func() error { return sessions(scale(4000, 800)) })
+	run("encode", func() error { return encode(scale(128, 16)) })
 
 	switch exp {
-	case "table1", "table2", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "ablation", "sessions", "all":
+	case "table1", "table2", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "ablation", "sessions", "encode", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
 		os.Exit(2)
 	}
+}
+
+func encode(dataMB int) error {
+	fmt.Println("Wide GF(2^8) kernel vs forced-scalar baseline: single-thread")
+	fmt.Println("reedsolomon.Encode at (n,k)=(4,3), source-data MB/s, best of 3 rounds")
+	rows, err := bench.KernelSpeed(4, 3, nil, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-14s %-14s %-10s\n", "Shard", "Scalar MB/s", "Wide MB/s", "Speedup")
+	for _, r := range rows {
+		fmt.Printf("%-10s %-14.0f %-14.0f %.2fx\n",
+			fmt.Sprintf("%dKB", r.ShardBytes>>10), r.ScalarMBps, r.WideMBps, r.Speedup)
+	}
+	fmt.Println()
+	fmt.Printf("End-to-end client encoding against a real 4-cloud cluster (TCP,\n")
+	fmt.Printf("in-memory backends): %dMB of random data, fixed 8KB chunks, full\n", dataMB)
+	fmt.Println("chunk->CAONT->RS->fingerprint->query->upload pipeline.")
+	crows, err := bench.ClusterEncodeSweep(dataMB, 4, 3, []int{1, 2, 4})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-10s %-12s %-10s %-12s\n", "Threads", "MB/s", "Secrets", "Shares", "Elapsed")
+	for _, r := range crows {
+		fmt.Printf("%-10d %-10.1f %-12d %-10d %-12s\n",
+			r.Threads, r.MBps, r.Secrets, r.SharesSent, r.Elapsed.Round(time.Millisecond))
+	}
+	return nil
 }
 
 func ablation(quick bool) error {

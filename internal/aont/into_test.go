@@ -1,0 +1,124 @@
+package aont
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+)
+
+// TestPackageOAEPMatchesStdlibCTR pins the manual zero-IV CTR inside
+// PackageOAEPInto to crypto/cipher's CTR mode — the construction the
+// original PackageOAEP used and the on-disk format every stored package
+// follows.
+func TestPackageOAEPMatchesStdlibCTR(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	h := make([]byte, KeySize)
+	rng.Read(h)
+	for _, n := range []int{1, 15, 16, 17, 31, 32, 1000, 8192} {
+		data := make([]byte, n)
+		rng.Read(data)
+		got, err := PackageOAEP(data, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: stdlib CTR with zero IV, then the key-difference tail.
+		block, err := aes.NewCipher(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, OAEPPackageSize(n))
+		var iv [aes.BlockSize]byte
+		cipher.NewCTR(block, iv[:]).XORKeyStream(want[:n], data)
+		digest := sha256.Sum256(want[:n])
+		for j := 0; j < HashSize; j++ {
+			want[n+j] = h[j] ^ digest[j]
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("len=%d: PackageOAEP diverged from stdlib CTR reference", n)
+		}
+	}
+}
+
+// TestPackageOAEPIntoDirtyBufferAndScratch checks the Into form over a
+// reused dirty buffer with a reused scratch produces the same package,
+// and that it round-trips.
+func TestPackageOAEPIntoDirtyBufferAndScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	h := make([]byte, KeySize)
+	rng.Read(h)
+	buf := make([]byte, OAEPPackageSize(8192))
+	for _, n := range []int{100, 8192, 33} {
+		data := make([]byte, n)
+		rng.Read(data)
+		want, err := PackageOAEP(data, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg := buf[:OAEPPackageSize(n)]
+		rng.Read(pkg) // dirty
+		copy(pkg, data)
+		if err := PackageOAEPInto(pkg, n, h); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pkg, want) {
+			t.Fatalf("len=%d: Into form diverged from PackageOAEP", n)
+		}
+		back, gotH, err := UnpackOAEP(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, data) || !bytes.Equal(gotH, h) {
+			t.Fatalf("len=%d: round trip failed", n)
+		}
+	}
+}
+
+// TestPackageRivestIntoDirtyBuffer does the same for the Rivest form,
+// whose padding region must be re-zeroed on reuse.
+func TestPackageRivestIntoDirtyBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	key := make([]byte, KeySize)
+	rng.Read(key)
+	var s Scratch
+	buf := make([]byte, RivestPackageSize(4096))
+	for _, n := range []int{1, 15, 16, 17, 100, 4096} {
+		data := make([]byte, n)
+		rng.Read(data)
+		want, err := PackageRivest(data, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg := buf[:RivestPackageSize(n)]
+		rng.Read(pkg) // dirty — stale bytes in the padding region
+		copy(pkg, data)
+		if err := PackageRivestInto(pkg, n, key, &s); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pkg, want) {
+			t.Fatalf("len=%d: Into form diverged from PackageRivest", n)
+		}
+		back, gotKey, err := UnpackRivest(pkg, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, data) || !bytes.Equal(gotKey, key) {
+			t.Fatalf("len=%d: round trip failed", n)
+		}
+	}
+}
+
+func TestPackageIntoValidatesSizes(t *testing.T) {
+	h := make([]byte, KeySize)
+	if err := PackageOAEPInto(make([]byte, 10), 5, h); err == nil {
+		t.Error("OAEP: wrong package size accepted")
+	}
+	if err := PackageOAEPInto(make([]byte, 37), 5, h[:16]); err == nil {
+		t.Error("OAEP: short key accepted")
+	}
+	if err := PackageRivestInto(make([]byte, 10), 5, h, nil); err == nil {
+		t.Error("Rivest: wrong package size accepted")
+	}
+}

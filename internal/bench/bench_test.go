@@ -72,6 +72,13 @@ func TestEncodingSpeedVsThreadsShape(t *testing.T) {
 }
 
 func TestEncodingSpeedVsNShape(t *testing.T) {
+	if raceEnabled {
+		// Race instrumentation slows the GF(2^8) kernels ~100x while AES
+		// and SHA (assembly) keep their speed, which inflates the RS share
+		// of the cost and sinks the n=8/n=4 ratio below any threshold that
+		// is meaningful uninstrumented.
+		t.Skip("timing-shape assertion skipped under the race detector")
+	}
 	rows, err := EncodingSpeedVsN(6, 2, []int{4, 8})
 	if err != nil {
 		t.Fatal(err)

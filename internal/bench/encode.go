@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cdstore/internal/client"
+	"cdstore/internal/cloud"
+	"cdstore/internal/gf256"
+	"cdstore/internal/reedsolomon"
+	"cdstore/internal/workload"
+)
+
+// ----------------------------------------------------- wide-kernel speed
+
+// KernelRow compares the wide GF(2^8) kernel against the forced-scalar
+// baseline for one shard size: single-thread reedsolomon.Encode
+// throughput in source-data MB/s (k data shards of ShardBytes each per
+// encode call).
+type KernelRow struct {
+	ShardBytes int
+	N, K       int
+	ScalarMBps float64
+	WideMBps   float64
+	Speedup    float64
+}
+
+// kernelCodecs builds the wide codec and its forced-scalar twin.
+func kernelCodecs(n, k int) (wide, scalar *reedsolomon.Codec, err error) {
+	wide, err = reedsolomon.New(n, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	scalar, err = reedsolomon.NewWithField(n, k, gf256.NewScalar())
+	if err != nil {
+		return nil, nil, err
+	}
+	return wide, scalar, nil
+}
+
+// makeShards builds n equal shard buffers of size bytes, the first k
+// filled with deterministic pseudo-random data.
+func makeShards(n, k, size int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	shards := make([][]byte, n)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		if i < k {
+			rng.Read(shards[i])
+		}
+	}
+	return shards
+}
+
+// timeEncode runs codec.Encode on shards until at least minDuration has
+// elapsed and returns throughput in source-data MB/s.
+func timeEncode(codec *reedsolomon.Codec, shards [][]byte, minDuration time.Duration) (float64, error) {
+	// Warm-up builds lazy tables outside the timed region.
+	if err := codec.Encode(shards); err != nil {
+		return 0, err
+	}
+	iters := 0
+	start := time.Now()
+	var elapsed time.Duration
+	for {
+		if err := codec.Encode(shards); err != nil {
+			return 0, err
+		}
+		iters++
+		if elapsed = time.Since(start); elapsed >= minDuration {
+			break
+		}
+	}
+	dataBytes := float64(codec.K()*len(shards[0])) * float64(iters)
+	return dataBytes / (1 << 20) / elapsed.Seconds(), nil
+}
+
+// KernelSpeed measures wide vs forced-scalar Encode throughput at (n, k)
+// for every shard size. Wide and scalar run adjacently per size and the
+// best of `rounds` interleaved rounds is kept, which makes the ratio
+// robust against background load that shifts both equally.
+func KernelSpeed(n, k int, shardSizes []int, rounds int) ([]KernelRow, error) {
+	if len(shardSizes) == 0 {
+		shardSizes = []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10}
+	}
+	if rounds <= 0 {
+		rounds = 3
+	}
+	wide, scalar, err := kernelCodecs(n, k)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]KernelRow, 0, len(shardSizes))
+	for _, size := range shardSizes {
+		shards := makeShards(n, k, size, int64(size))
+		row := KernelRow{ShardBytes: size, N: n, K: k}
+		for r := 0; r < rounds; r++ {
+			w, err := timeEncode(wide, shards, 30*time.Millisecond)
+			if err != nil {
+				return nil, err
+			}
+			s, err := timeEncode(scalar, shards, 30*time.Millisecond)
+			if err != nil {
+				return nil, err
+			}
+			if w > row.WideMBps {
+				row.WideMBps = w
+			}
+			if s > row.ScalarMBps {
+				row.ScalarMBps = s
+			}
+		}
+		row.Speedup = row.WideMBps / row.ScalarMBps
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// BestKernelRatio returns the best wide/scalar Encode ratio observed over
+// `rounds` adjacent pairs at one shard size — the quantity the CI
+// speedup assertion checks.
+func BestKernelRatio(n, k, shardSize, rounds int) (float64, error) {
+	wide, scalar, err := kernelCodecs(n, k)
+	if err != nil {
+		return 0, err
+	}
+	shards := makeShards(n, k, shardSize, int64(shardSize))
+	best := 0.0
+	for r := 0; r < rounds; r++ {
+		w, err := timeEncode(wide, shards, 50*time.Millisecond)
+		if err != nil {
+			return 0, err
+		}
+		s, err := timeEncode(scalar, shards, 50*time.Millisecond)
+		if err != nil {
+			return 0, err
+		}
+		if ratio := w / s; ratio > best {
+			best = ratio
+		}
+	}
+	return best, nil
+}
+
+// ------------------------------------------------- cluster-level encode
+
+// ClusterEncodeRow is one end-to-end measurement: a real client backing
+// up through real CAONT-RS encoding to n real cloud servers over TCP —
+// the speed a user feels, not a kernel microbenchmark (closing the
+// ROADMAP PR 1 follow-up: the sessions bench drove raw protocol frames
+// against one cloud; this drives client encoding against all n).
+type ClusterEncodeRow struct {
+	N, K       int
+	Threads    int
+	DataMB     int
+	Elapsed    time.Duration
+	MBps       float64
+	Secrets    int64
+	SharesSent int64
+}
+
+// ClusterEncode starts an n-cloud cluster (in-memory backends, unshaped
+// loopback TCP links so encoding stays the bottleneck), connects one
+// client with `threads` encode workers, and backs up dataMB of random
+// data in fixed 8KB chunks (the §5.5 VM-dataset regime). Random data
+// defeats dedup, so every share is encoded, fingerprinted, queried, and
+// transferred.
+func ClusterEncode(dataMB, threads, n, k int) (ClusterEncodeRow, error) {
+	cl, err := cloud.NewCluster(cloud.Config{N: n, K: k, ContainerCapacity: 1 << 20})
+	if err != nil {
+		return ClusterEncodeRow{}, err
+	}
+	defer cl.Close()
+	cli, err := client.Connect(client.Options{
+		UserID:         1,
+		N:              n,
+		K:              k,
+		EncodeThreads:  threads,
+		FixedChunkSize: 8 << 10,
+	}, cl.Dialers(nil))
+	if err != nil {
+		return ClusterEncodeRow{}, err
+	}
+	defer cli.Close()
+	data := workload.UniqueData(77, dataMB<<20)
+	start := time.Now()
+	stats, err := cli.Backup("/bench-encode", newSliceReader(data))
+	if err != nil {
+		return ClusterEncodeRow{}, fmt.Errorf("cluster encode backup: %w", err)
+	}
+	elapsed := time.Since(start)
+	return ClusterEncodeRow{
+		N: n, K: k,
+		Threads:    threads,
+		DataMB:     dataMB,
+		Elapsed:    elapsed,
+		MBps:       float64(stats.LogicalBytes) / (1 << 20) / elapsed.Seconds(),
+		Secrets:    stats.Secrets,
+		SharesSent: stats.SharesSent,
+	}, nil
+}
+
+// ClusterEncodeSweep runs ClusterEncode for each thread count.
+func ClusterEncodeSweep(dataMB, n, k int, threads []int) ([]ClusterEncodeRow, error) {
+	if len(threads) == 0 {
+		threads = []int{1, 2, 4}
+	}
+	rows := make([]ClusterEncodeRow, 0, len(threads))
+	for _, th := range threads {
+		row, err := ClusterEncode(dataMB, th, n, k)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"testing"
+
+	"cdstore/internal/reedsolomon"
+)
+
+// TestWideKernelSpeedup is the acceptance assertion of the wide-kernel
+// rework: single-thread reedsolomon.Encode through the wide GF(2^8)
+// kernels must reach at least 2x the forced-scalar baseline on 4KB+
+// shards. Wide and scalar are timed adjacently and the best interleaved
+// ratio is kept, so shared background load cancels out.
+func TestWideKernelSpeedup(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing assertion skipped under the race detector")
+	}
+	for _, shardSize := range []int{4 << 10, 64 << 10} {
+		ratio, err := BestKernelRatio(4, 3, shardSize, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("shard %dKB: wide/scalar = %.2fx", shardSize>>10, ratio)
+		if ratio < 2.0 {
+			t.Errorf("shard %dKB: wide kernel only %.2fx over scalar, want >= 2x", shardSize>>10, ratio)
+		}
+	}
+}
+
+// TestKernelSpeedRows sanity-checks the experiment driver itself.
+func TestKernelSpeedRows(t *testing.T) {
+	rows, err := KernelSpeed(4, 3, []int{1 << 10, 4 << 10}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.WideMBps <= 0 || r.ScalarMBps <= 0 || r.Speedup <= 0 {
+			t.Fatalf("non-positive measurement: %+v", r)
+		}
+	}
+}
+
+// TestClusterEncodeEndToEnd drives a small but real 4-cloud backup and
+// checks the row is coherent: every 8KB chunk of random data must be
+// encoded and all its shares transferred (no dedup on random data).
+func TestClusterEncodeEndToEnd(t *testing.T) {
+	row, err := ClusterEncode(4, 2, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.MBps <= 0 {
+		t.Fatalf("non-positive throughput: %+v", row)
+	}
+	wantSecrets := int64(4 << 20 / (8 << 10))
+	if row.Secrets != wantSecrets {
+		t.Fatalf("secrets = %d, want %d", row.Secrets, wantSecrets)
+	}
+	if row.SharesSent != wantSecrets*4 {
+		t.Fatalf("shares sent = %d, want %d (n shares per secret, no dedup)", row.SharesSent, wantSecrets*4)
+	}
+}
+
+func benchmarkEncode(b *testing.B, codec *reedsolomon.Codec, shardSize int) {
+	shards := makeShards(codec.N(), codec.K(), shardSize, int64(shardSize))
+	if err := codec.Encode(shards); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(codec.K() * shardSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := codec.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeWide4K(b *testing.B) {
+	wide, _, err := kernelCodecs(4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkEncode(b, wide, 4<<10)
+}
+
+func BenchmarkEncodeScalar4K(b *testing.B) {
+	_, scalar, err := kernelCodecs(4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkEncode(b, scalar, 4<<10)
+}
+
+func BenchmarkEncodeWide64K(b *testing.B) {
+	wide, _, err := kernelCodecs(4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkEncode(b, wide, 64<<10)
+}
+
+// BenchmarkClusterEncode measures the end-to-end client pipeline against
+// a real 4-cloud cluster; CI runs it with -benchtime=1x as a smoke test.
+func BenchmarkClusterEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row, err := ClusterEncode(4, 2, 4, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(row.MBps, "MB/s")
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"cdstore/internal/chunker"
 	"cdstore/internal/metadata"
 	"cdstore/internal/protocol"
+	"cdstore/internal/secretshare"
 )
 
 // BackupStats reports what one backup moved and saved.
@@ -36,13 +38,37 @@ func (s *BackupStats) IntraUserSaving() float64 {
 	return 1 - float64(s.TransferredShareBytes)/float64(s.LogicalShareBytes)
 }
 
+// backupCounters is the hot-path form of BackupStats: plain atomics, so
+// encode workers and uploaders never serialize on a stats mutex.
+type backupCounters struct {
+	logicalBytes          atomic.Int64
+	secrets               atomic.Int64
+	logicalShareBytes     atomic.Int64
+	transferredShareBytes atomic.Int64
+	sharesSent            atomic.Int64
+	sharesSkipped         atomic.Int64
+}
+
+func (bc *backupCounters) snapshot() *BackupStats {
+	return &BackupStats{
+		LogicalBytes:          bc.logicalBytes.Load(),
+		Secrets:               bc.secrets.Load(),
+		LogicalShareBytes:     bc.logicalShareBytes.Load(),
+		TransferredShareBytes: bc.transferredShareBytes.Load(),
+		SharesSent:            bc.sharesSent.Load(),
+		SharesSkipped:         bc.sharesSkipped.Load(),
+	}
+}
+
 // secretJob is one chunk heading into the encode pool.
 type secretJob struct {
 	seq  uint64
 	data []byte
 }
 
-// shareItem is one encoded share heading to one cloud's uploader.
+// shareItem is one encoded share heading to one cloud's uploader. data is
+// a pool-owned buffer; whoever consumes the item recycles it into the
+// client's share pool once the bytes are no longer needed.
 type shareItem struct {
 	seq        uint64
 	fp         metadata.Fingerprint
@@ -90,40 +116,82 @@ func (c *Client) Backup(path string, r io.Reader) (*BackupStats, error) {
 }
 
 // BackupStream is Backup with caller-controlled chunking.
+//
+// Pipeline shape (§4.6 plus the zero-allocation rework): the chunk
+// producer feeds a pool of encode workers; each worker owns a reusable
+// scratch arena and draws share buffers from the client's share pool, so
+// steady state allocates nothing per secret beyond the AES key schedule.
+// Shares fan out to one uploader per cloud, which recycles each buffer
+// into the pool once its query/upload round has flushed. Stats are plain
+// atomics — no mutex on the hot path.
+//
+// Error discipline: a failing encode worker keeps draining its jobs
+// channel (so the producer can never block against a dead pool), the
+// producer stops chunking as soon as any worker OR uploader has failed
+// (a dead cloud must not cost a full-source encode), and the error
+// surfaced to the caller is deterministic — the encode failure with the
+// lowest secret sequence wins, then upload failures by cloud index.
 func (c *Client) BackupStream(path string, source ChunkSource) (*BackupStats, error) {
 	for i, cc := range c.conns {
 		if cc == nil {
 			return nil, fmt.Errorf("client: cloud %d unavailable; backup requires all %d clouds", i, c.opts.N)
 		}
 	}
-	stats := &BackupStats{}
-	var statsMu sync.Mutex
+	counters := &backupCounters{}
 
 	jobs := make(chan secretJob, 4*c.opts.EncodeThreads)
 	perCloud := make([]chan shareItem, c.opts.N)
 	for i := range perCloud {
 		perCloud[i] = make(chan shareItem, 256)
 	}
-	errCh := make(chan error, c.opts.N+c.opts.EncodeThreads+1)
 
-	// Encoding worker pool (§4.6: parallelize at the secret level).
+	// First-error bookkeeping (cold path, so a mutex is fine here):
+	// encode failures keep the lowest secret sequence; stopProducing is
+	// closed by the first failure anywhere — encode worker or uploader —
+	// so the producer stops chunking once the backup is doomed.
+	var failMu sync.Mutex
+	var encodeErr error
+	var encodeErrSeq uint64
+	var stopOnce sync.Once
+	stopProducing := make(chan struct{})
+	stop := func() { stopOnce.Do(func() { close(stopProducing) }) }
+	fail := func(seq uint64, err error) {
+		failMu.Lock()
+		if encodeErr == nil || seq < encodeErrSeq {
+			encodeErr, encodeErrSeq = err, seq
+		}
+		failMu.Unlock()
+		stop()
+	}
+
+	// Encoding worker pool (§4.6: parallelize at the secret level). Each
+	// worker reuses one arena and one fingerprint buffer across secrets.
 	var encodeWG sync.WaitGroup
 	for w := 0; w < c.opts.EncodeThreads; w++ {
 		encodeWG.Add(1)
 		go func() {
 			defer encodeWG.Done()
+			arena := secretshare.NewArenaWithPool(&c.sharePool)
+			var fps []metadata.Fingerprint
 			for job := range jobs {
-				shares, err := c.scheme.Split(job.data)
+				shares, err := secretshare.SplitWithArena(c.scheme, job.data, arena)
 				if err != nil {
-					errCh <- fmt.Errorf("encode secret %d: %w", job.seq, err)
-					return
+					// Record and KEEP DRAINING: a worker that returns here
+					// would strand the producer on jobs<- once every worker
+					// is gone (the EncodeThreads=1 hang this replaces).
+					fail(job.seq, fmt.Errorf("encode secret %d: %w", job.seq, err))
+					continue
 				}
-				fps := fingerprintShares(shares)
-				statsMu.Lock()
+				if cap(fps) < len(shares) {
+					fps = make([]metadata.Fingerprint, len(shares))
+				}
+				fps = fps[:len(shares)]
+				var logical int64
 				for i := range shares {
-					stats.LogicalShareBytes += int64(len(shares[i]))
+					fps[i] = metadata.FingerprintOf(shares[i])
+					logical += int64(len(shares[i]))
 				}
-				statsMu.Unlock()
+				counters.logicalShareBytes.Add(logical)
 				for i := range shares {
 					perCloud[i] <- shareItem{
 						seq:        job.seq,
@@ -139,6 +207,7 @@ func (c *Client) BackupStream(path string, source ChunkSource) (*BackupStats, er
 	// One uploader per cloud (§4.6: one thread per cloud).
 	type cloudResult struct {
 		entries map[uint64]metadata.RecipeEntry
+		err     error
 	}
 	results := make([]cloudResult, c.opts.N)
 	var uploadWG sync.WaitGroup
@@ -147,7 +216,7 @@ func (c *Client) BackupStream(path string, source ChunkSource) (*BackupStats, er
 		uploadWG.Add(1)
 		go func(cloud int) {
 			defer uploadWG.Done()
-			up := newUploader(c, c.conns[cloud], stats, &statsMu)
+			up := newUploader(c, c.conns[cloud], counters)
 			for item := range perCloud[cloud] {
 				results[cloud].entries[item.seq] = metadata.RecipeEntry{
 					ShareFP:    item.fp,
@@ -155,22 +224,29 @@ func (c *Client) BackupStream(path string, source ChunkSource) (*BackupStats, er
 					SecretSize: item.secretSize,
 				}
 				if err := up.add(item); err != nil {
-					errCh <- fmt.Errorf("cloud %d upload: %w", cloud, err)
-					// Drain to let encoders finish.
-					for range perCloud[cloud] {
+					results[cloud].err = fmt.Errorf("cloud %d upload: %w", cloud, err)
+					stop()
+					// Drain to let encoders finish, recycling as we go.
+					for extra := range perCloud[cloud] {
+						c.sharePool.Put(extra.data)
 					}
+					up.recyclePending()
 					return
 				}
 			}
 			if err := up.flush(); err != nil {
-				errCh <- fmt.Errorf("cloud %d flush: %w", cloud, err)
+				results[cloud].err = fmt.Errorf("cloud %d flush: %w", cloud, err)
+				stop()
+				up.recyclePending()
 			}
 		}(i)
 	}
 
-	// Pull secrets from the chunk source.
+	// Pull secrets from the chunk source, stopping early once any encode
+	// worker or uploader has failed.
 	var seq uint64
 	var chunkErr error
+produce:
 	for {
 		data, err := source.NextChunk()
 		if err == io.EOF {
@@ -180,11 +256,13 @@ func (c *Client) BackupStream(path string, source ChunkSource) (*BackupStats, er
 			chunkErr = err
 			break
 		}
-		statsMu.Lock()
-		stats.LogicalBytes += int64(len(data))
-		stats.Secrets++
-		statsMu.Unlock()
-		jobs <- secretJob{seq: seq, data: data}
+		counters.logicalBytes.Add(int64(len(data)))
+		counters.secrets.Add(1)
+		select {
+		case jobs <- secretJob{seq: seq, data: data}:
+		case <-stopProducing:
+			break produce
+		}
 		seq++
 	}
 	close(jobs)
@@ -193,15 +271,21 @@ func (c *Client) BackupStream(path string, source ChunkSource) (*BackupStats, er
 		close(perCloud[i])
 	}
 	uploadWG.Wait()
-	close(errCh)
 	if chunkErr != nil {
 		return nil, chunkErr
 	}
-	for err := range errCh {
-		if err != nil {
-			return nil, err
+	failMu.Lock()
+	firstEncodeErr := encodeErr
+	failMu.Unlock()
+	if firstEncodeErr != nil {
+		return nil, firstEncodeErr
+	}
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
 		}
 	}
+	stats := counters.snapshot()
 
 	// Build and upload the per-cloud recipes (the recipe at cloud i lists
 	// the fingerprints of the shares stored at cloud i). The path each
@@ -235,29 +319,33 @@ func (c *Client) BackupStream(path string, source ChunkSource) (*BackupStats, er
 }
 
 // uploader batches intra-user dedup queries and share uploads for one
-// cloud connection.
+// cloud connection. Its pending items own pool-backed share buffers; a
+// buffer is recycled into the client's share pool as soon as its
+// query/upload round has flushed (or immediately for a share already
+// seen this session).
 type uploader struct {
-	c       *Client
-	cc      *cloudConn
-	stats   *BackupStats
-	statsMu *sync.Mutex
+	c        *Client
+	cc       *cloudConn
+	counters *backupCounters
 
 	pending      []shareItem
 	pendingBytes int
+	// fps and batch are reused across flush rounds.
+	fps   []metadata.Fingerprint
+	batch []protocol.ShareUpload
 	// seen tracks fingerprints already handled this session, so a share
 	// repeated within one backup is sent at most once.
 	seen map[metadata.Fingerprint]bool
 }
 
-func newUploader(c *Client, cc *cloudConn, stats *BackupStats, mu *sync.Mutex) *uploader {
-	return &uploader{c: c, cc: cc, stats: stats, statsMu: mu, seen: make(map[metadata.Fingerprint]bool)}
+func newUploader(c *Client, cc *cloudConn, counters *backupCounters) *uploader {
+	return &uploader{c: c, cc: cc, counters: counters, seen: make(map[metadata.Fingerprint]bool)}
 }
 
 func (u *uploader) add(item shareItem) error {
 	if u.seen[item.fp] {
-		u.statsMu.Lock()
-		u.stats.SharesSkipped++
-		u.statsMu.Unlock()
+		u.counters.sharesSkipped.Add(1)
+		u.c.sharePool.Put(item.data)
 		return nil
 	}
 	u.seen[item.fp] = true
@@ -269,18 +357,32 @@ func (u *uploader) add(item shareItem) error {
 	return nil
 }
 
+// recyclePending returns every buffered share buffer to the pool; called
+// on the error path so an aborted upload does not leak the pool dry.
+func (u *uploader) recyclePending() {
+	for i := range u.pending {
+		u.c.sharePool.Put(u.pending[i].data)
+	}
+	u.pending = u.pending[:0]
+	u.pendingBytes = 0
+}
+
 // flush runs one query/upload round: ask the server which pending
 // fingerprints this user already owns, then upload only the rest (§3.3
-// intra-user deduplication).
+// intra-user deduplication). On success every pending buffer goes back
+// to the share pool.
 func (u *uploader) flush() error {
 	if len(u.pending) == 0 {
 		return nil
 	}
-	fps := make([]metadata.Fingerprint, len(u.pending))
-	for i := range u.pending {
-		fps[i] = u.pending[i].fp
+	if cap(u.fps) < len(u.pending) {
+		u.fps = make([]metadata.Fingerprint, len(u.pending))
 	}
-	reply, err := u.cc.call(protocol.MsgQuery, protocol.EncodeFingerprints(fps), protocol.MsgQueryResult)
+	u.fps = u.fps[:len(u.pending)]
+	for i := range u.pending {
+		u.fps[i] = u.pending[i].fp
+	}
+	reply, err := u.cc.call(protocol.MsgQuery, protocol.EncodeFingerprints(u.fps), protocol.MsgQueryResult)
 	if err != nil {
 		return err
 	}
@@ -291,14 +393,14 @@ func (u *uploader) flush() error {
 	if len(owned) != len(u.pending) {
 		return fmt.Errorf("client: dedup reply length %d != %d", len(owned), len(u.pending))
 	}
-	var batch []protocol.ShareUpload
+	u.batch = u.batch[:0]
 	sent, sentBytes, skipped := 0, int64(0), 0
 	for i := range u.pending {
 		if owned[i] {
 			skipped++
 			continue
 		}
-		batch = append(batch, protocol.ShareUpload{
+		u.batch = append(u.batch, protocol.ShareUpload{
 			SecretSeq:  u.pending[i].seq,
 			SecretSize: u.pending[i].secretSize,
 			Data:       u.pending[i].data,
@@ -306,17 +408,14 @@ func (u *uploader) flush() error {
 		sent++
 		sentBytes += int64(len(u.pending[i].data))
 	}
-	if len(batch) > 0 {
-		if _, err := u.cc.call(protocol.MsgPutShares, protocol.EncodeShareBatch(batch), protocol.MsgPutOK); err != nil {
+	if len(u.batch) > 0 {
+		if _, err := u.cc.call(protocol.MsgPutShares, protocol.EncodeShareBatch(u.batch), protocol.MsgPutOK); err != nil {
 			return err
 		}
 	}
-	u.statsMu.Lock()
-	u.stats.SharesSent += int64(sent)
-	u.stats.SharesSkipped += int64(skipped)
-	u.stats.TransferredShareBytes += sentBytes
-	u.statsMu.Unlock()
-	u.pending = u.pending[:0]
-	u.pendingBytes = 0
+	u.counters.sharesSent.Add(int64(sent))
+	u.counters.sharesSkipped.Add(int64(skipped))
+	u.counters.transferredShareBytes.Add(sentBytes)
+	u.recyclePending()
 	return nil
 }

@@ -11,7 +11,6 @@ import (
 	"sync"
 
 	"cdstore/internal/core"
-	"cdstore/internal/metadata"
 	"cdstore/internal/protocol"
 	"cdstore/internal/secretshare"
 )
@@ -49,6 +48,10 @@ type Client struct {
 	opts   Options
 	scheme secretshare.Scheme
 	conns  []*cloudConn // index = cloud index; nil if unavailable
+	// sharePool recycles share buffers between the encode workers that
+	// fill them and the uploaders that retire them after each flush, so
+	// steady-state backups allocate no share memory.
+	sharePool secretshare.SharePool
 }
 
 // cloudConn serializes request/response exchanges on one cloud session.
@@ -242,13 +245,4 @@ func (c *Client) Delete(path string) error {
 		return firstErr
 	}
 	return nil
-}
-
-// fingerprintShares hashes every share of one secret.
-func fingerprintShares(shares [][]byte) []metadata.Fingerprint {
-	fps := make([]metadata.Fingerprint, len(shares))
-	for i, s := range shares {
-		fps[i] = metadata.FingerprintOf(s)
-	}
-	return fps
 }

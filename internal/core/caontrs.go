@@ -37,9 +37,9 @@ const HashSize = sha256.Size
 // systematic Reed-Solomon codes. It is deterministic: Split depends only
 // on the secret content (and the optional salt), never on randomness.
 type CAONTRS struct {
-	n, k  int
-	salt  []byte
-	codec *reedsolomon.Codec
+	n, k   int
+	codec  *reedsolomon.Codec
+	hasher convergentHasher
 }
 
 // NewCAONTRS constructs an (n, k) CAONT-RS scheme with no salt.
@@ -55,7 +55,9 @@ func NewCAONTRSWithSalt(n, k int, salt []byte) (*CAONTRS, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CAONTRS{n: n, k: k, salt: append([]byte(nil), salt...), codec: c}, nil
+	cs := &CAONTRS{n: n, k: k, codec: c}
+	cs.hasher.salt = append([]byte(nil), salt...)
+	return cs, nil
 }
 
 // Name implements secretshare.Scheme.
@@ -85,35 +87,58 @@ func (c *CAONTRS) ShareSize(secretSize int) int {
 	return (c.paddedSecretSize(secretSize) + HashSize) / c.k
 }
 
-// hashKey derives the convergent key h = H(salt || X) over the padded
-// secret. With a salt this is HMAC-SHA-256 keyed by the salt, else plain
-// SHA-256 — both deterministic in the content.
-func (c *CAONTRS) hashKey(padded []byte) []byte {
-	if len(c.salt) == 0 {
-		h := sha256.Sum256(padded)
-		return h[:]
-	}
-	m := hmac.New(sha256.New, c.salt)
-	m.Write(padded)
-	return m.Sum(nil)
-}
-
 // Split implements secretshare.Scheme: Figure 3's encoding pipeline.
 func (c *CAONTRS) Split(secret []byte) ([][]byte, error) {
+	return c.SplitInto(secret, nil)
+}
+
+// SplitInto implements secretshare.ArenaScheme: the same pipeline with
+// every reusable temporary drawn from the caller's arena — package
+// scratch, hash states, share buffers — so the steady-state cost per
+// secret is exactly the per-key AES state (key schedule + CTR stream,
+// which cannot be cached because the key is the content hash; asserted
+// at <= 3 allocations by TestSplitIntoAllocations). A nil arena behaves
+// like Split.
+func (c *CAONTRS) SplitInto(secret []byte, a *secretshare.Arena) ([][]byte, error) {
 	if len(secret) == 0 {
 		return nil, secretshare.ErrEmptySecret
 	}
-	padded := secret
-	if p := c.paddedSecretSize(len(secret)); p != len(secret) {
-		padded = make([]byte, p)
-		copy(padded, secret)
+	p := c.paddedSecretSize(len(secret))
+	pkgLen := p + HashSize
+	var pkg []byte
+	if a != nil {
+		pkg = a.Scratch(pkgLen)
+	} else {
+		pkg = make([]byte, pkgLen)
 	}
-	h := c.hashKey(padded)
-	pkg, err := aont.PackageOAEP(padded, h)
-	if err != nil {
+	n := copy(pkg, secret)
+	for i := n; i < p; i++ {
+		pkg[i] = 0 // zero padding (arena scratch may be dirty)
+	}
+	var h []byte
+	if a != nil {
+		c.hasher.sumInto(pkg[:p], &a.HashKey)
+		h = a.HashKey[:]
+	} else {
+		var hk [HashSize]byte
+		c.hasher.sumInto(pkg[:p], &hk)
+		h = hk[:]
+	}
+	if err := aont.PackageOAEPInto(pkg, p, h); err != nil {
 		return nil, err
 	}
-	shards := c.codec.Split(pkg)
+	var shards [][]byte
+	if a != nil {
+		shards = a.Shards(c.n, c.codec.ShardSize(pkgLen))
+	} else {
+		shards = make([][]byte, c.n)
+		for i := range shards {
+			shards[i] = make([]byte, c.codec.ShardSize(pkgLen))
+		}
+	}
+	if err := c.codec.SplitInto(pkg, shards); err != nil {
+		return nil, err
+	}
 	if err := c.codec.Encode(shards); err != nil {
 		return nil, err
 	}
@@ -150,7 +175,7 @@ func (c *CAONTRS) Combine(shares map[int][]byte, secretSize int) ([]byte, error)
 	if err != nil {
 		return nil, err
 	}
-	if !hmac.Equal(c.hashKey(padded), h) {
+	if !hmac.Equal(c.hasher.sum(padded), h) {
 		return nil, secretshare.ErrCorrupt
 	}
 	for _, b := range padded[secretSize:] {

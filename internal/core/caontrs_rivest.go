@@ -2,7 +2,6 @@ package core
 
 import (
 	"crypto/hmac"
-	"crypto/sha256"
 
 	"cdstore/internal/secretshare"
 )
@@ -14,9 +13,9 @@ import (
 // the OAEP-based CAONT-RS outperforms, because Rivest's transform pays
 // one AES invocation per 16-byte word.
 type CAONTRSRivest struct {
-	n, k  int
-	salt  []byte
-	inner *secretshare.AONTRS
+	n, k   int
+	inner  *secretshare.AONTRS
+	hasher convergentHasher
 }
 
 // NewCAONTRSRivest constructs an (n, k) CAONT-RS-Rivest scheme.
@@ -30,7 +29,9 @@ func NewCAONTRSRivestWithSalt(n, k int, salt []byte) (*CAONTRSRivest, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CAONTRSRivest{n: n, k: k, salt: append([]byte(nil), salt...), inner: inner}, nil
+	c := &CAONTRSRivest{n: n, k: k, inner: inner}
+	c.hasher.salt = append([]byte(nil), salt...)
+	return c, nil
 }
 
 // Name implements secretshare.Scheme.
@@ -48,23 +49,24 @@ func (c *CAONTRSRivest) R() int { return c.k - 1 }
 // ShareSize implements secretshare.Scheme.
 func (c *CAONTRSRivest) ShareSize(secretSize int) int { return c.inner.ShareSize(secretSize) }
 
-// hashKey derives the convergent package key from the secret content.
-func (c *CAONTRSRivest) hashKey(secret []byte) []byte {
-	if len(c.salt) == 0 {
-		h := sha256.Sum256(secret)
-		return h[:]
-	}
-	m := hmac.New(sha256.New, c.salt)
-	m.Write(secret)
-	return m.Sum(nil)
-}
-
 // Split implements secretshare.Scheme deterministically.
 func (c *CAONTRSRivest) Split(secret []byte) ([][]byte, error) {
+	return c.SplitInto(secret, nil)
+}
+
+// SplitInto implements secretshare.ArenaScheme (nil arena behaves like
+// Split). With an arena, the convergent key is derived into the arena's
+// key scratch through the pooled hasher, so key derivation allocates
+// nothing per secret — same discipline as CAONTRS.SplitInto.
+func (c *CAONTRSRivest) SplitInto(secret []byte, a *secretshare.Arena) ([][]byte, error) {
 	if len(secret) == 0 {
 		return nil, secretshare.ErrEmptySecret
 	}
-	return c.inner.SplitWithKey(secret, c.hashKey(secret))
+	if a == nil {
+		return c.inner.SplitWithKeyInto(secret, c.hasher.sum(secret), nil)
+	}
+	c.hasher.sumInto(secret, &a.HashKey)
+	return c.inner.SplitWithKeyInto(secret, a.HashKey[:], a)
 }
 
 // Combine implements secretshare.Scheme. Beyond the Rivest canary it also
@@ -75,7 +77,7 @@ func (c *CAONTRSRivest) Combine(shares map[int][]byte, secretSize int) ([]byte, 
 	if err != nil {
 		return nil, err
 	}
-	if !hmac.Equal(c.hashKey(secret), key) {
+	if !hmac.Equal(c.hasher.sum(secret), key) {
 		return nil, secretshare.ErrCorrupt
 	}
 	return secret, nil

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in.
+// Allocation assertions consult it: under race, sync.Pool deliberately
+// drops a fraction of Puts to shake out lifecycle races, so pooled
+// states get reallocated and per-call allocation counts are inflated.
+const raceEnabled = true

@@ -7,10 +7,19 @@
 // a 64KB full multiplication table makes Mul a single load, and per-symbol
 // row tables let bulk slice operations run at memory speed.
 //
+// Bulk operations (MulSlice, MulAddSlice, AddSlice) run a wide kernel
+// that moves 8 bytes per step through uint64 loads and per-coefficient
+// double-byte tables built lazily on first use (see kernel.go); the
+// byte-at-a-time scalar path remains for tails and, via NewScalar, as the
+// differential-testing reference.
+//
 // The zero Field value is not usable; call New.
 package gf256
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Poly is the irreducible polynomial generating the field (0x11d).
 const Poly = 0x11d
@@ -27,6 +36,12 @@ type Field struct {
 	log [Order]byte     // log[x] = i such that generator^i = x (log[0] unused)
 	mul [Order][Order]byte
 	inv [Order]byte
+	// wide caches the per-coefficient double-byte tables the wide kernels
+	// consume; entries are built lazily on first bulk use of a coefficient.
+	wide [Order]atomic.Pointer[wideTab]
+	// scalar forces the byte-at-a-time loops (NewScalar): the reference
+	// the wide kernels are property-tested and benchmarked against.
+	scalar bool
 }
 
 // defaultField is the shared field instance used by the package-level helpers.
@@ -56,6 +71,16 @@ func New() *Field {
 	for a := 1; a < Order; a++ {
 		f.inv[a] = f.exp[(Order-1)-int(f.log[a])]
 	}
+	return f
+}
+
+// NewScalar constructs a Field whose bulk slice operations always take
+// the byte-at-a-time scalar path, never the wide kernels. It exists as
+// the reference implementation: differential tests pin the wide kernels
+// to it, and benchmarks measure the wide speedup against it.
+func NewScalar() *Field {
+	f := New()
+	f.scalar = true
 	return f
 }
 
@@ -144,6 +169,10 @@ func (f *Field) MulSlice(c byte, src, dst []byte) {
 	case 1:
 		copy(dst, src)
 	default:
+		if !f.scalar && len(src) >= wideMinLen {
+			n := mul64(f.wideTab(c), src, dst)
+			src, dst = src[n:], dst[n:]
+		}
 		row := &f.mul[c]
 		for i, v := range src {
 			dst[i] = row[v]
@@ -157,24 +186,36 @@ func (f *Field) MulAddSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic(fmt.Sprintf("gf256: MulAddSlice length mismatch %d != %d", len(src), len(dst)))
 	}
-	if c == 0 {
+	switch c {
+	case 0:
 		return
-	}
-	if c == 1 {
-		AddSlice(src, dst)
-		return
-	}
-	row := &f.mul[c]
-	// Unroll by 4 to keep the loop ALU bound rather than branch bound.
-	n := len(src) &^ 3
-	for i := 0; i < n; i += 4 {
-		dst[i] ^= row[src[i]]
-		dst[i+1] ^= row[src[i+1]]
-		dst[i+2] ^= row[src[i+2]]
-		dst[i+3] ^= row[src[i+3]]
-	}
-	for i := n; i < len(src); i++ {
-		dst[i] ^= row[src[i]]
+	case 1:
+		if !f.scalar && len(src) >= wideMinLen {
+			n := xor64(src, dst)
+			src, dst = src[n:], dst[n:]
+		}
+		for i, v := range src {
+			dst[i] ^= v
+		}
+	default:
+		if !f.scalar && len(src) >= wideMinLen {
+			n := mulAdd64(f.wideTab(c), src, dst)
+			src, dst = src[n:], dst[n:]
+		}
+		row := &f.mul[c]
+		// Unroll by 4 to keep the byte loop — tails, sub-wideMinLen
+		// slices, and the NewScalar reference/baseline — ALU bound
+		// rather than branch bound.
+		n := len(src) &^ 3
+		for i := 0; i < n; i += 4 {
+			dst[i] ^= row[src[i]]
+			dst[i+1] ^= row[src[i+1]]
+			dst[i+2] ^= row[src[i+2]]
+			dst[i+3] ^= row[src[i+3]]
+		}
+		for i := n; i < len(src); i++ {
+			dst[i] ^= row[src[i]]
+		}
 	}
 }
 
@@ -183,19 +224,8 @@ func AddSlice(src, dst []byte) {
 	if len(src) != len(dst) {
 		panic(fmt.Sprintf("gf256: AddSlice length mismatch %d != %d", len(src), len(dst)))
 	}
-	i := 0
-	// XOR eight bytes at a time through uint64 loads via manual combining.
-	for ; i+8 <= len(src); i += 8 {
-		dst[i] ^= src[i]
-		dst[i+1] ^= src[i+1]
-		dst[i+2] ^= src[i+2]
-		dst[i+3] ^= src[i+3]
-		dst[i+4] ^= src[i+4]
-		dst[i+5] ^= src[i+5]
-		dst[i+6] ^= src[i+6]
-		dst[i+7] ^= src[i+7]
-	}
-	for ; i < len(src); i++ {
+	n := xor64(src, dst)
+	for i := n; i < len(src); i++ {
 		dst[i] ^= src[i]
 	}
 }

@@ -1,0 +1,170 @@
+package gf256
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// kernelLengths are the slice lengths the differential tests sweep: every
+// length 0..257 (tails, sub-wideMinLen sizes, off-by-one word boundaries)
+// plus larger sizes that exercise the 32-byte main loop and its tails.
+func kernelLengths() []int {
+	lens := make([]int, 0, 280)
+	for n := 0; n <= 257; n++ {
+		lens = append(lens, n)
+	}
+	for _, n := range []int{511, 512, 513, 1023, 1024, 1029, 4096, 4099, 8192} {
+		lens = append(lens, n)
+	}
+	return lens
+}
+
+// TestMulAddSliceWideMatchesScalar pins the wide multiply-accumulate
+// kernel to the scalar reference field across lengths and random
+// coefficients.
+func TestMulAddSliceWideMatchesScalar(t *testing.T) {
+	wide, scalar := New(), NewScalar()
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range kernelLengths() {
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		rng.Read(src)
+		rng.Read(dst)
+		cs := []byte{0, 1, 2, 255, byte(rng.Intn(256)), byte(rng.Intn(256))}
+		for _, c := range cs {
+			want := append([]byte(nil), dst...)
+			got := append([]byte(nil), dst...)
+			scalar.MulAddSlice(c, src, want)
+			wide.MulAddSlice(c, src, got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulAddSlice len=%d c=%d: wide disagrees with scalar", n, c)
+			}
+		}
+	}
+}
+
+// TestMulSliceWideMatchesScalar does the same for the overwrite kernel.
+func TestMulSliceWideMatchesScalar(t *testing.T) {
+	wide, scalar := New(), NewScalar()
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range kernelLengths() {
+		src := make([]byte, n)
+		rng.Read(src)
+		cs := []byte{0, 1, 3, 254, byte(rng.Intn(256)), byte(rng.Intn(256))}
+		for _, c := range cs {
+			want := make([]byte, n)
+			got := make([]byte, n)
+			rng.Read(got) // stale contents must be fully overwritten
+			scalar.MulSlice(c, src, want)
+			wide.MulSlice(c, src, got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulSlice len=%d c=%d: wide disagrees with scalar", n, c)
+			}
+		}
+	}
+}
+
+// TestMulAddSliceAllCoefficients sweeps every coefficient at one length
+// past the wide threshold, so each lazily-built wide table is validated
+// against the scalar row it was derived from.
+func TestMulAddSliceAllCoefficients(t *testing.T) {
+	wide, scalar := New(), NewScalar()
+	rng := rand.New(rand.NewSource(9))
+	src := make([]byte, 131)
+	dst := make([]byte, 131)
+	rng.Read(src)
+	rng.Read(dst)
+	for c := 0; c < Order; c++ {
+		want := append([]byte(nil), dst...)
+		got := append([]byte(nil), dst...)
+		scalar.MulAddSlice(byte(c), src, want)
+		wide.MulAddSlice(byte(c), src, got)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("MulAddSlice c=%d: wide disagrees with scalar", c)
+		}
+	}
+}
+
+func TestAddSliceMatchesScalarXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range kernelLengths() {
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		rng.Read(src)
+		rng.Read(dst)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = dst[i] ^ src[i]
+		}
+		AddSlice(src, dst)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("AddSlice len=%d mismatch", n)
+		}
+	}
+}
+
+// TestWideTabCached asserts the lazily-built table is built once and
+// reused (pointer identity across calls).
+func TestWideTabCached(t *testing.T) {
+	f := New()
+	a := f.wideTab(37)
+	b := f.wideTab(37)
+	if a != b {
+		t.Fatal("wideTab rebuilt on second use")
+	}
+	for x := 0; x < 1<<16; x++ {
+		lo, hi := byte(x), byte(x>>8)
+		want := uint16(f.Mul(37, hi))<<8 | uint16(f.Mul(37, lo))
+		if a[x] != want {
+			t.Fatalf("wideTab[%#x] = %#x, want %#x", x, a[x], want)
+		}
+	}
+}
+
+// TestWideTabConcurrentFirstUse hammers a fresh field from many
+// goroutines so the lazy table build races with itself; run under -race
+// this validates the atomic publish, and every result is checked against
+// the scalar reference.
+func TestWideTabConcurrentFirstUse(t *testing.T) {
+	wide, scalar := New(), NewScalar()
+	src := make([]byte, 1024)
+	rand.New(rand.NewSource(11)).Read(src)
+	want := make([]byte, len(src))
+	scalar.MulAddSlice(99, src, want)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			dst := make([]byte, len(src))
+			for i := 0; i < 50; i++ {
+				for j := range dst {
+					dst[j] = 0
+				}
+				wide.MulAddSlice(99, src, dst)
+				if !bytes.Equal(dst, want) {
+					done <- fmt.Errorf("concurrent wide result diverged")
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMulAddSliceScalar(b *testing.B) {
+	f := NewScalar()
+	src := make([]byte, 8192)
+	dst := make([]byte, 8192)
+	rand.New(rand.NewSource(2)).Read(src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MulAddSlice(173, src, dst)
+	}
+}

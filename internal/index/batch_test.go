@@ -1,0 +1,108 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+
+	"cdstore/internal/metadata"
+)
+
+// TestSharesOwnedByMatchesSingle pins the batched ownership query to the
+// one-at-a-time form, across a batch that spans many shards, mixes
+// owned/unowned/absent fingerprints, and includes duplicates.
+func TestSharesOwnedByMatchesSingle(t *testing.T) {
+	ix := openTestIndex(t)
+	var fps []metadata.Fingerprint
+	for i := 0; i < 200; i++ {
+		f := fp(fmt.Sprintf("batch-%d", i))
+		fps = append(fps, f)
+		switch i % 3 {
+		case 0: // owned by user 1
+			ix.PutShare(&ShareEntry{Fingerprint: f, Container: "c", Size: 1, Refs: map[uint64]uint32{1: 1}})
+		case 1: // owned by someone else
+			ix.PutShare(&ShareEntry{Fingerprint: f, Container: "c", Size: 1, Refs: map[uint64]uint32{7: 1}})
+		default: // absent
+		}
+	}
+	fps = append(fps, fps[0], fps[1]) // duplicates in one batch
+	got, err := ix.SharesOwnedBy(fps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(fps) {
+		t.Fatalf("got %d answers for %d fingerprints", len(got), len(fps))
+	}
+	for i, f := range fps {
+		want, err := ix.ShareOwnedBy(f, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("position %d: batched %v, single %v", i, got[i], want)
+		}
+	}
+}
+
+// TestSharesOwnedBySeesPendingReservation mirrors ShareOwnedBy's pending
+// semantics: a reservation counts only for the reserving user.
+func TestSharesOwnedBySeesPendingReservation(t *testing.T) {
+	ix := openTestIndex(t)
+	f := fp("pending-share")
+	st, err := ix.TryReserveShare(f, 1, 100)
+	if err != nil || st != StatusReserved {
+		t.Fatalf("reserve: %v %v", st, err)
+	}
+	owned, err := ix.SharesOwnedBy([]metadata.Fingerprint{f}, 1)
+	if err != nil || !owned[0] {
+		t.Fatalf("reserver should own pending share: %v %v", owned, err)
+	}
+	owned, err = ix.SharesOwnedBy([]metadata.Fingerprint{f}, 2)
+	if err != nil || owned[0] {
+		t.Fatal("non-reserver sees pending share: side channel!")
+	}
+	ix.AbortShare(f)
+}
+
+// TestLookupSharesMatchesSingle pins the batched entry lookup to
+// LookupShare, with nil marking absence.
+func TestLookupSharesMatchesSingle(t *testing.T) {
+	ix := openTestIndex(t)
+	var fps []metadata.Fingerprint
+	for i := 0; i < 120; i++ {
+		f := fp(fmt.Sprintf("lk-%d", i))
+		fps = append(fps, f)
+		if i%2 == 0 {
+			ix.PutShare(&ShareEntry{
+				Fingerprint: f,
+				Container:   fmt.Sprintf("cont-%d", i),
+				Size:        uint32(i + 1),
+				Refs:        map[uint64]uint32{uint64(i % 5): 1},
+			})
+		}
+	}
+	entries, err := ix.LookupShares(fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(fps) {
+		t.Fatalf("got %d entries for %d fingerprints", len(entries), len(fps))
+	}
+	for i, f := range fps {
+		single, err := ix.LookupShare(f)
+		if err == ErrNotFound {
+			if entries[i] != nil {
+				t.Fatalf("position %d: batched found entry, single did not", i)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if entries[i] == nil {
+			t.Fatalf("position %d: batched missed an existing entry", i)
+		}
+		if entries[i].Container != single.Container || entries[i].Size != single.Size {
+			t.Fatalf("position %d: batched %+v, single %+v", i, entries[i], single)
+		}
+	}
+}

@@ -307,6 +307,10 @@ func (ix *Index) ShareOwnedBy(fp metadata.Fingerprint, userID uint64) (bool, err
 	sh := ix.shards[shardOf(fp)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return sh.ownedByLocked(fp, userID)
+}
+
+func (sh *shard) ownedByLocked(fp metadata.Fingerprint, userID uint64) (bool, error) {
 	if pe, ok := sh.pending[fp]; ok {
 		_, owned := pe.entry.Refs[userID]
 		return owned, nil
@@ -320,6 +324,70 @@ func (ix *Index) ShareOwnedBy(fp metadata.Fingerprint, userID uint64) (bool, err
 	}
 	_, ok := e.Refs[userID]
 	return ok, nil
+}
+
+// SharesOwnedBy is the batched form of ShareOwnedBy the query handler
+// uses: fingerprints are grouped by shard so each touched shard's lock is
+// taken exactly once per batch (the same trick AddShareRefs plays),
+// instead of one lock round-trip per fingerprint. The result is in input
+// order.
+func (ix *Index) SharesOwnedBy(fps []metadata.Fingerprint, userID uint64) ([]bool, error) {
+	owned := make([]bool, len(fps))
+	for s, group := range groupByShardPos(fps) {
+		if len(group) == 0 {
+			continue
+		}
+		sh := ix.shards[s]
+		sh.mu.Lock()
+		for _, pos := range group {
+			o, err := sh.ownedByLocked(fps[pos], userID)
+			if err != nil {
+				sh.mu.Unlock()
+				return nil, err
+			}
+			owned[pos] = o
+		}
+		sh.mu.Unlock()
+	}
+	return owned, nil
+}
+
+// LookupShares is the batched form of LookupShare: one lock acquisition
+// per touched shard, results in input order. A missing fingerprint yields
+// a nil entry (not an error), so the caller can report which one.
+func (ix *Index) LookupShares(fps []metadata.Fingerprint) ([]*ShareEntry, error) {
+	entries := make([]*ShareEntry, len(fps))
+	for s, group := range groupByShardPos(fps) {
+		if len(group) == 0 {
+			continue
+		}
+		sh := ix.shards[s]
+		sh.mu.Lock()
+		for _, pos := range group {
+			e, err := sh.lookupLocked(fps[pos])
+			if err == ErrNotFound {
+				continue
+			}
+			if err != nil {
+				sh.mu.Unlock()
+				return nil, err
+			}
+			entries[pos] = e
+		}
+		sh.mu.Unlock()
+	}
+	return entries, nil
+}
+
+// groupByShardPos buckets the POSITIONS of fps by shard, preserving the
+// mapping back to input order for batched lookups.
+func groupByShardPos(fps []metadata.Fingerprint) [][]int {
+	groups := make([][]int, NumShards)
+	for pos, fp := range fps {
+		s := shardOf(fp)
+		groups[s] = append(groups[s], pos)
+	}
+	return groups
 }
 
 // AddShareRef increments user's reference count on fp (which must exist,

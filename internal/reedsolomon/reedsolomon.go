@@ -10,10 +10,11 @@ import (
 // Codec is a systematic (n, k) Reed-Solomon encoder/decoder. It is
 // immutable after construction and safe for concurrent use.
 type Codec struct {
-	n, k   int
-	enc    *Matrix // n x k encoding matrix; top k x k block is identity
-	parity *Matrix // (n-k) x k parity sub-matrix (rows k..n-1 of enc)
-	field  *gf256.Field
+	n, k       int
+	enc        *Matrix  // n x k encoding matrix; top k x k block is identity
+	parity     *Matrix  // (n-k) x k parity sub-matrix (rows k..n-1 of enc)
+	parityRows [][]byte // parity's rows, precomputed so Encode allocates nothing
+	field      *gf256.Field
 }
 
 // Common error values returned by the codec.
@@ -29,6 +30,14 @@ var (
 // k x k block, which preserves the any-k-rows-invertible property while
 // making the first k outputs equal the inputs.
 func New(n, k int) (*Codec, error) {
+	return NewWithField(n, k, gf256.Default())
+}
+
+// NewWithField constructs the codec over a caller-supplied field. Its
+// purpose is benchmarking and differential testing: a codec over
+// gf256.NewScalar() is the forced-scalar baseline the wide kernels are
+// measured against.
+func NewWithField(n, k int, field *gf256.Field) (*Codec, error) {
 	if k <= 0 || n <= k || n > 256 {
 		return nil, fmt.Errorf("%w (got n=%d k=%d)", ErrInvalidParams, n, k)
 	}
@@ -41,13 +50,47 @@ func New(n, k int) (*Codec, error) {
 		return nil, err
 	}
 	enc := v.Mul(topInv)
-	return &Codec{
+	c := &Codec{
 		n:      n,
 		k:      k,
 		enc:    enc,
 		parity: enc.SubMatrix(k, n, 0, k),
-		field:  gf256.Default(),
-	}, nil
+		field:  field,
+	}
+	c.parityRows = make([][]byte, n-k)
+	for r := range c.parityRows {
+		c.parityRows[r] = c.parity.Row(r)
+	}
+	return c, nil
+}
+
+// blockSize is the per-shard stride of the blocked matrix multiply: all
+// output rows are updated for one block of the inputs before moving on,
+// so each input block is read from cache (n-k or k times) rather than
+// from memory once per output row on large shards.
+const blockSize = 32 << 10
+
+// mulRows computes out[r] = sum_i coeffs[r][i] * in[i] for equal-length
+// slices, walking the inputs once in cache-sized blocks. The first
+// contribution of each output block is written with MulSlice (overwrite),
+// so outputs need no zeroing pass and their prior contents never cost a
+// read.
+func (c *Codec) mulRows(coeffs [][]byte, in, out [][]byte) {
+	size := len(in[0])
+	for lo := 0; lo < size; lo += blockSize {
+		hi := lo + blockSize
+		if hi > size {
+			hi = size
+		}
+		for r := range out {
+			row := coeffs[r]
+			dst := out[r][lo:hi]
+			c.field.MulSlice(row[0], in[0][lo:hi], dst)
+			for i := 1; i < len(in); i++ {
+				c.field.MulAddSlice(row[i], in[i][lo:hi], dst)
+			}
+		}
+	}
 }
 
 // N returns the total number of shards.
@@ -61,52 +104,101 @@ func (c *Codec) EncodingMatrix() *Matrix { return c.enc.Clone() }
 
 // Encode fills the parity shards from the data shards. shards must hold
 // exactly n slices of equal nonzero length; the first k are read as data
-// and the last n-k are overwritten with parity.
+// and the last n-k are overwritten with parity. Encode allocates nothing.
 func (c *Codec) Encode(shards [][]byte) error {
-	if err := c.checkShards(shards, true); err != nil {
+	if err := c.checkShards(shards, false); err != nil {
 		return err
 	}
-	size := len(shards[0])
-	for r := 0; r < c.n-c.k; r++ {
-		out := shards[c.k+r]
-		for i := range out {
-			out[i] = 0
-		}
-		row := c.parity.Row(r)
-		for i := 0; i < c.k; i++ {
-			c.field.MulAddSlice(row[i], shards[i], out)
-		}
-		if len(out) != size {
+	c.mulRows(c.parityRows, shards[:c.k], shards[c.k:])
+	return nil
+}
+
+// EncodeInto computes the n-k parity shards of the k data shards into
+// caller-provided buffers, for callers that keep data and parity in
+// separate slices. (The client encode pipeline itself uses SplitInto +
+// Encode over one arena-backed shard set; Encode is equally
+// allocation-free.) All slices must share one nonzero length.
+func (c *Codec) EncodeInto(data, parity [][]byte) error {
+	if len(data) != c.k || len(parity) != c.n-c.k {
+		return fmt.Errorf("reedsolomon: EncodeInto requires %d data + %d parity shards, got %d + %d",
+			c.k, c.n-c.k, len(data), len(parity))
+	}
+	size := len(data[0])
+	if size == 0 {
+		return ErrShardSize
+	}
+	for _, s := range data {
+		if len(s) != size {
 			return ErrShardSize
 		}
 	}
+	for _, s := range parity {
+		if len(s) != size {
+			return ErrShardSize
+		}
+	}
+	c.mulRows(c.parityRows, data, parity)
 	return nil
+}
+
+// ShardSize returns the per-shard size Split produces for a dataLen-byte
+// input: ceil(dataLen/k), minimum 1.
+func (c *Codec) ShardSize(dataLen int) int {
+	shardSize := (dataLen + c.k - 1) / c.k
+	if shardSize == 0 {
+		shardSize = 1
+	}
+	return shardSize
 }
 
 // Split divides data into k equal-size data shards, zero-padding the tail,
 // and returns n shard buffers (parity shards allocated but not encoded).
 // The returned shard size is ceil(len(data)/k).
 func (c *Codec) Split(data []byte) [][]byte {
-	shardSize := (len(data) + c.k - 1) / c.k
-	if shardSize == 0 {
-		shardSize = 1
-	}
+	shardSize := c.ShardSize(len(data))
 	shards := make([][]byte, c.n)
 	for i := range shards {
 		shards[i] = make([]byte, shardSize)
 	}
+	if err := c.SplitInto(data, shards); err != nil {
+		// Unreachable: the buffers above satisfy SplitInto's contract.
+		panic(err)
+	}
+	return shards
+}
+
+// SplitInto copies data into the first k of the caller's n shard buffers
+// (zero-padding the k-th), leaving the n-k parity buffers untouched for a
+// subsequent Encode/EncodeInto. Every buffer must be exactly
+// ShardSize(len(data)) long.
+func (c *Codec) SplitInto(data []byte, shards [][]byte) error {
+	if len(shards) != c.n {
+		return fmt.Errorf("reedsolomon: SplitInto requires %d shard buffers, got %d", c.n, len(shards))
+	}
+	shardSize := c.ShardSize(len(data))
+	for i, s := range shards {
+		if len(s) != shardSize {
+			return fmt.Errorf("reedsolomon: SplitInto shard %d has %d bytes, want %d", i, len(s), shardSize)
+		}
+	}
 	for i := 0; i < c.k; i++ {
 		lo := i * shardSize
 		if lo >= len(data) {
-			break
+			for j := range shards[i] {
+				shards[i][j] = 0
+			}
+			continue
 		}
 		hi := lo + shardSize
 		if hi > len(data) {
 			hi = len(data)
 		}
-		copy(shards[i], data[lo:hi])
+		n := copy(shards[i], data[lo:hi])
+		for j := n; j < shardSize; j++ {
+			shards[i][j] = 0
+		}
 	}
-	return shards
+	return nil
 }
 
 // Join concatenates the k data shards and truncates to size bytes,
@@ -181,15 +273,15 @@ func (c *Codec) ReconstructData(have map[int][]byte) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	in := make([][]byte, c.k)
+	rows := make([][]byte, c.k)
 	data := make([][]byte, c.k)
 	for r := 0; r < c.k; r++ {
-		out := make([]byte, size)
-		row := inv.Row(r)
-		for i, idx := range idxs {
-			c.field.MulAddSlice(row[i], have[idx], out)
-		}
-		data[r] = out
+		in[r] = have[idxs[r]]
+		rows[r] = inv.Row(r)
+		data[r] = make([]byte, size)
 	}
+	c.mulRows(rows, in, data)
 	return data, nil
 }
 
@@ -218,18 +310,19 @@ func (c *Codec) Reconstruct(shards [][]byte) error {
 	for i := 0; i < c.k; i++ {
 		shards[i] = data[i]
 	}
-	// Recompute parity rows that were missing.
+	// Recompute parity rows that were missing, all of them per data block.
 	size := len(data[0])
+	var rows, outs [][]byte
 	for r := c.k; r < c.n; r++ {
 		if shards[r] != nil {
 			continue
 		}
-		out := make([]byte, size)
-		row := c.enc.Row(r)
-		for i := 0; i < c.k; i++ {
-			c.field.MulAddSlice(row[i], shards[i], out)
-		}
-		shards[r] = out
+		shards[r] = make([]byte, size)
+		rows = append(rows, c.enc.Row(r))
+		outs = append(outs, shards[r])
+	}
+	if len(outs) > 0 {
+		c.mulRows(rows, shards[:c.k], outs)
 	}
 	return nil
 }
@@ -244,11 +337,9 @@ func (c *Codec) Verify(shards [][]byte) (bool, error) {
 	size := len(shards[0])
 	buf := make([]byte, size)
 	for r := 0; r < c.n-c.k; r++ {
-		for i := range buf {
-			buf[i] = 0
-		}
 		row := c.parity.Row(r)
-		for i := 0; i < c.k; i++ {
+		c.field.MulSlice(row[0], shards[0], buf)
+		for i := 1; i < c.k; i++ {
 			c.field.MulAddSlice(row[i], shards[i], buf)
 		}
 		if !bytesEqual(buf, shards[c.k+r]) {

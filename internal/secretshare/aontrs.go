@@ -55,6 +55,13 @@ func (a *AONTRS) ShareSize(secretSize int) int {
 
 // Split implements Scheme.
 func (a *AONTRS) Split(secret []byte) ([][]byte, error) {
+	return a.SplitInto(secret, nil)
+}
+
+// SplitInto implements ArenaScheme: Split drawing its package scratch
+// and share buffers from the caller's arena. The key is still fresh
+// randomness per call (that is what AONT-RS is).
+func (a *AONTRS) SplitInto(secret []byte, ar *Arena) ([][]byte, error) {
 	if len(secret) == 0 {
 		return nil, ErrEmptySecret
 	}
@@ -62,17 +69,38 @@ func (a *AONTRS) Split(secret []byte) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return a.splitWithKey(secret, key)
+	return a.splitWithKey(secret, key, ar)
 }
 
 // splitWithKey is the deterministic core shared with CAONT-RS-Rivest
 // (internal/core supplies a content-derived key instead of a random one).
-func (a *AONTRS) splitWithKey(secret, key []byte) ([][]byte, error) {
-	pkg, err := aont.PackageRivest(secret, key)
-	if err != nil {
+// A nil arena falls back to plain allocation.
+func (a *AONTRS) splitWithKey(secret, key []byte, ar *Arena) ([][]byte, error) {
+	pkgLen := aont.RivestPackageSize(len(secret))
+	var pkg []byte
+	var scratch *aont.Scratch
+	if ar != nil {
+		pkg = ar.Scratch(pkgLen)
+		scratch = &ar.AESScratch
+	} else {
+		pkg = make([]byte, pkgLen)
+	}
+	copy(pkg, secret)
+	if err := aont.PackageRivestInto(pkg, len(secret), key, scratch); err != nil {
 		return nil, err
 	}
-	shards := a.codec.Split(pkg)
+	var shards [][]byte
+	if ar != nil {
+		shards = ar.Shards(a.n, a.codec.ShardSize(pkgLen))
+	} else {
+		shards = make([][]byte, a.n)
+		for i := range shards {
+			shards[i] = make([]byte, a.codec.ShardSize(pkgLen))
+		}
+	}
+	if err := a.codec.SplitInto(pkg, shards); err != nil {
+		return nil, err
+	}
 	if err := a.codec.Encode(shards); err != nil {
 		return nil, err
 	}
@@ -83,10 +111,16 @@ func (a *AONTRS) splitWithKey(secret, key []byte) ([][]byte, error) {
 // package key instead of a random one. Exposed for the convergent
 // dispersal instantiation CAONT-RS-Rivest.
 func (a *AONTRS) SplitWithKey(secret, key []byte) ([][]byte, error) {
+	return a.SplitWithKeyInto(secret, key, nil)
+}
+
+// SplitWithKeyInto is SplitWithKey through an arena (nil behaves like
+// SplitWithKey).
+func (a *AONTRS) SplitWithKeyInto(secret, key []byte, ar *Arena) ([][]byte, error) {
 	if len(secret) == 0 {
 		return nil, ErrEmptySecret
 	}
-	return a.splitWithKey(secret, key)
+	return a.splitWithKey(secret, key, ar)
 }
 
 // Combine implements Scheme. The canary embedded by the package transform

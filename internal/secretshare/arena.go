@@ -1,0 +1,140 @@
+package secretshare
+
+import (
+	"sync"
+
+	"cdstore/internal/aont"
+)
+
+// Arena is the reusable per-worker scratch space the allocation-free
+// Split variants thread through the encode pipeline (chunk -> AONT ->
+// RS -> fingerprint). One encode worker owns one Arena; it is not safe
+// for concurrent use.
+//
+// An Arena separates two lifetimes:
+//
+//   - Scratch: temporaries (the AONT package, cipher blocks) that die
+//     when SplitInto returns. They are plain fields reused across
+//     secrets.
+//   - Share buffers: the n share slices SplitInto returns, which outlive
+//     the call (they travel to the per-cloud uploaders). They come from a
+//     sync.Pool, and the uploader recycles them once the share has been
+//     flushed, so steady state allocates nothing.
+type Arena struct {
+	scratch []byte
+	shards  [][]byte
+	pool    *SharePool // nil means plain allocation
+	// AESScratch is the cipher scratch the aont package variants use.
+	AESScratch aont.Scratch
+	// HashKey is scratch for the 32-byte convergent key. Keeping it on
+	// the (heap-resident) arena matters: a stack array passed into
+	// aes.NewCipher escapes and would cost an allocation per secret.
+	HashKey [32]byte
+}
+
+// NewArena returns an Arena whose share buffers are plainly allocated
+// (scratch is still reused). Use NewArenaWithPool to recycle share
+// buffers too.
+func NewArena() *Arena { return &Arena{} }
+
+// NewArenaWithPool returns an Arena drawing share buffers from pool (a
+// nil pool is allowed and behaves like NewArena). Callers return buffers
+// to the pool when the share's journey ends.
+func NewArenaWithPool(pool *SharePool) *Arena { return &Arena{pool: pool} }
+
+// SharePool is a freelist of share buffers shared between encode workers
+// (producers) and uploaders (recyclers). Unlike sync.Pool it stores the
+// slice headers directly, so neither Get nor Put allocates — sync.Pool
+// boxes every Put into an interface, which alone would blow the
+// zero-allocation budget of the encode pipeline. Safe for concurrent
+// use.
+type SharePool struct {
+	mu   sync.Mutex
+	bufs [][]byte
+}
+
+// poolMaxIdle bounds retained buffers; beyond it, Put drops the buffer
+// for the GC. 4096 buffers of a typical ~3KB share is ~12MB, an
+// acceptable ceiling for a backup client.
+const poolMaxIdle = 4096
+
+// Get returns a size-byte buffer with undefined contents.
+func (p *SharePool) Get(size int) []byte {
+	p.mu.Lock()
+	for n := len(p.bufs); n > 0; n = len(p.bufs) {
+		b := p.bufs[n-1]
+		p.bufs[n-1] = nil
+		p.bufs = p.bufs[:n-1]
+		if cap(b) >= size {
+			p.mu.Unlock()
+			return b[:size]
+		}
+		// Too small for current shares: drop it and keep looking.
+	}
+	p.mu.Unlock()
+	return make([]byte, size)
+}
+
+// Put returns a buffer to the pool. The buffer must no longer be read or
+// written by the caller.
+func (p *SharePool) Put(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.bufs) < poolMaxIdle {
+		p.bufs = append(p.bufs, buf[:cap(buf)])
+	}
+	p.mu.Unlock()
+}
+
+// Scratch returns an n-byte scratch slice with undefined contents, valid
+// until the next Scratch call. The backing array is reused and grows
+// monotonically to the largest request.
+func (a *Arena) Scratch(n int) []byte {
+	if cap(a.scratch) < n {
+		a.scratch = make([]byte, n)
+	}
+	return a.scratch[:n]
+}
+
+// Shards returns n share buffers of size bytes each, with undefined
+// contents, drawn from the pool when one is set. The [][]byte header is
+// arena-owned and reused by the next Shards call; the buffers themselves
+// are caller-owned until returned with SharePool.Put.
+func (a *Arena) Shards(n, size int) [][]byte {
+	if cap(a.shards) < n {
+		a.shards = make([][]byte, n)
+	}
+	a.shards = a.shards[:n]
+	for i := range a.shards {
+		a.shards[i] = a.shareBuf(size)
+	}
+	return a.shards
+}
+
+func (a *Arena) shareBuf(size int) []byte {
+	if a.pool != nil {
+		return a.pool.Get(size)
+	}
+	return make([]byte, size)
+}
+
+// ArenaScheme is implemented by schemes whose Split can run through a
+// caller-owned Arena, reusing scratch and share buffers across secrets.
+type ArenaScheme interface {
+	Scheme
+	// SplitInto behaves like Split but draws every buffer from the arena.
+	// The returned shares alias pool-owned memory; the caller returns
+	// each one to the arena's SharePool with Put when done.
+	SplitInto(secret []byte, a *Arena) ([][]byte, error)
+}
+
+// SplitWithArena dispatches to SplitInto when the scheme supports arenas
+// (and one is supplied), falling back to plain Split otherwise.
+func SplitWithArena(s Scheme, secret []byte, a *Arena) ([][]byte, error) {
+	if as, ok := s.(ArenaScheme); ok && a != nil {
+		return as.SplitInto(secret, a)
+	}
+	return s.Split(secret)
+}
