@@ -8,7 +8,7 @@
 // where <experiment> is one of:
 //
 //	table1 table2 fig5a fig5b fig6 fig7a fig7b fig8 fig9a fig9b
-//	ablation sessions encode all
+//	ablation sessions encode restore all
 //
 // "sessions" goes beyond the paper: it measures aggregate multi-session
 // upload throughput against one server, comparing the sharded dedup
@@ -19,6 +19,12 @@
 // reedsolomon.Encode) and then drives a real n-cloud cluster through
 // full client encoding — chunk, CAONT, RS, fingerprint, dedup query,
 // upload — reporting end-to-end MB/s.
+//
+// "restore" is the read-path twin: end-to-end restore throughput of the
+// streaming engine against a real n-cloud cluster (fetch, RS
+// reconstruct, un-AONT, integrity check, in-order write), in both the
+// all-clouds and degraded (one cloud down, parity-bearing decode)
+// configurations.
 //
 // -quick shrinks data volumes for a fast smoke run; the default sizes
 // take a few minutes in total (the shaped WAN runs are real-time).
@@ -38,7 +44,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink data volumes for a fast run")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cdbench [-quick] <table1|table2|fig5a|fig5b|fig6|fig7a|fig7b|fig8|fig9a|fig9b|ablation|sessions|encode|all>")
+		fmt.Fprintln(os.Stderr, "usage: cdbench [-quick] <table1|table2|fig5a|fig5b|fig6|fig7a|fig7b|fig8|fig9a|fig9b|ablation|sessions|encode|restore|all>")
 		os.Exit(2)
 	}
 	exp := flag.Arg(0)
@@ -74,9 +80,10 @@ func main() {
 	run("ablation", func() error { return ablation(*quick) })
 	run("sessions", func() error { return sessions(scale(4000, 800)) })
 	run("encode", func() error { return encode(scale(128, 16)) })
+	run("restore", func() error { return restoreExp(scale(128, 16)) })
 
 	switch exp {
-	case "table1", "table2", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "ablation", "sessions", "encode", "all":
+	case "table1", "table2", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "ablation", "sessions", "encode", "restore", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
 		os.Exit(2)
@@ -108,6 +115,33 @@ func encode(dataMB int) error {
 		fmt.Printf("%-10d %-10.1f %-12d %-10d %-12s\n",
 			r.Threads, r.MBps, r.Secrets, r.SharesSent, r.Elapsed.Round(time.Millisecond))
 	}
+	return nil
+}
+
+func restoreExp(dataMB int) error {
+	fmt.Printf("End-to-end streaming restore against a real 4-cloud cluster (TCP,\n")
+	fmt.Printf("in-memory backends): %dMB of random data backed up in fixed 8KB\n", dataMB)
+	fmt.Println("chunks, then restored through the pipelined engine (prefetched")
+	fmt.Println("windows, arena decode workers, dedup-aware fetch, in-order writer).")
+	rows, err := bench.ClusterRestoreSweep(dataMB, 4, 3, []int{1, 2, 4}, false)
+	if err != nil {
+		return err
+	}
+	deg, err := bench.ClusterRestoreSweep(dataMB, 4, 3, []int{2}, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-10s %-10s %-12s %-14s %-12s\n", "Mode", "Threads", "MB/s", "Secrets", "Downloaded", "Elapsed")
+	for _, r := range append(rows, deg...) {
+		mode := "normal"
+		if r.Degraded {
+			mode = "degraded"
+		}
+		fmt.Printf("%-10s %-10d %-10.1f %-12d %-14s %-12s\n",
+			mode, r.Threads, r.MBps, r.Secrets,
+			fmt.Sprintf("%.1fMB", r.DownloadedMB), r.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Println("degraded = cloud 0 down: every decode reconstructs through a parity shard")
 	return nil
 }
 

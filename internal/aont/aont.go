@@ -147,48 +147,77 @@ func UnpackRivest(pkg []byte, origLen int) (data, key []byte, err error) {
 	if len(pkg) < WordSize+HashSize {
 		return nil, nil, ErrShortPackage
 	}
+	words := (len(pkg)-HashSize)/WordSize - 1
+	out := make([]byte, words*WordSize)
+	var keyOut [KeySize]byte
+	if err := UnpackRivestInto(pkg, origLen, out, &keyOut, nil); err != nil {
+		return nil, nil, err
+	}
+	return out[:origLen:origLen], append([]byte(nil), keyOut[:]...), nil
+}
+
+// UnpackRivestInto is the caller-buffer form of UnpackRivest: the padded
+// data words are decrypted into data (which must hold exactly the word
+// region, i.e. RivestPackageSize(origLen) minus the canary word and the
+// key block) and the recovered key is written into keyOut. The original
+// data is data[:origLen]. s may be nil; passing a reused Scratch makes
+// the call allocation-free beyond the AES key schedule — the decode twin
+// of PackageRivestInto.
+func UnpackRivestInto(pkg []byte, origLen int, data []byte, keyOut *[KeySize]byte, s *Scratch) error {
+	if len(pkg) < WordSize+HashSize {
+		return ErrShortPackage
+	}
 	body := pkg[:len(pkg)-HashSize]
 	if len(body)%WordSize != 0 {
-		return nil, nil, fmt.Errorf("%w: body %d bytes not word aligned", ErrShortPackage, len(body))
+		return fmt.Errorf("%w: body %d bytes not word aligned", ErrShortPackage, len(body))
 	}
 	words := len(body)/WordSize - 1 // last word is the canary
 	if origLen < 0 || origLen > words*WordSize || (words > 0 && origLen <= (words-1)*WordSize) {
-		return nil, nil, fmt.Errorf("%w: origLen=%d words=%d", ErrBadLength, origLen, words)
+		return fmt.Errorf("%w: origLen=%d words=%d", ErrBadLength, origLen, words)
+	}
+	if len(data) != words*WordSize {
+		return fmt.Errorf("%w: data buffer %d bytes, want %d", ErrBadLength, len(data), words*WordSize)
 	}
 	digest := sha256.Sum256(body)
-	key = make([]byte, KeySize)
 	tail := pkg[len(pkg)-HashSize:]
 	for j := 0; j < HashSize; j++ {
-		key[j] = tail[j] ^ digest[j]
+		keyOut[j] = tail[j] ^ digest[j]
 	}
-	block, err := aes.NewCipher(key)
+	block, err := aes.NewCipher(keyOut[:])
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	plain := make([]byte, len(body))
-	var idx, mask [WordSize]byte
+	if s == nil {
+		s = new(Scratch)
+	}
+	for j := range s.ctr {
+		s.ctr[j] = 0
+	}
 	for i := 0; i <= words; i++ {
-		binary.BigEndian.PutUint64(idx[8:], uint64(i+1))
-		block.Encrypt(mask[:], idx[:])
+		binary.BigEndian.PutUint64(s.ctr[8:], uint64(i+1))
+		block.Encrypt(s.ks[:], s.ctr[:])
 		src := body[i*WordSize : (i+1)*WordSize]
-		dst := plain[i*WordSize : (i+1)*WordSize]
-		for j := 0; j < WordSize; j++ {
-			dst[j] = src[j] ^ mask[j]
+		if i == words {
+			// The canary word is checked in place, never written out.
+			for j := 0; j < WordSize; j++ {
+				if src[j]^s.ks[j] != Canary[j] {
+					return ErrCanary
+				}
+			}
+			break
 		}
-	}
-	canary := plain[words*WordSize:]
-	for j := 0; j < WordSize; j++ {
-		if canary[j] != Canary[j] {
-			return nil, nil, ErrCanary
+		dst := data[i*WordSize : (i+1)*WordSize]
+		for j := 0; j < WordSize; j++ {
+			dst[j] = src[j] ^ s.ks[j]
 		}
 	}
 	// Padding bytes beyond origLen must be zero.
-	for _, b := range plain[origLen : words*WordSize] {
+	for _, b := range data[origLen:] {
 		if b != 0 {
-			return nil, nil, ErrCanary
+			return ErrCanary
 		}
 	}
-	return plain[:origLen:origLen], key, nil
+	return nil
 }
 
 // OAEPPackageSize returns the package size produced by PackageOAEP:
@@ -250,19 +279,37 @@ func UnpackOAEP(pkg []byte) (data, h []byte, err error) {
 	if len(pkg) < HashSize {
 		return nil, nil, ErrShortPackage
 	}
+	data = make([]byte, len(pkg)-HashSize)
+	var hOut [KeySize]byte
+	if err := UnpackOAEPInto(pkg, data, &hOut); err != nil {
+		return nil, nil, err
+	}
+	return data, append([]byte(nil), hOut[:]...), nil
+}
+
+// UnpackOAEPInto is the caller-buffer form of UnpackOAEP: the original
+// data is decrypted into data (which must be len(pkg)-HashSize bytes) and
+// the recovered key into hOut. Per-call cost is the AES key schedule plus
+// the CTR stream — the same deliberate floor as PackageOAEPInto, and for
+// the same reason (see Scratch).
+func UnpackOAEPInto(pkg, data []byte, hOut *[KeySize]byte) error {
+	if len(pkg) < HashSize {
+		return ErrShortPackage
+	}
+	if len(data) != len(pkg)-HashSize {
+		return fmt.Errorf("%w: data buffer %d bytes, want %d", ErrBadLength, len(data), len(pkg)-HashSize)
+	}
 	y := pkg[:len(pkg)-HashSize]
 	tail := pkg[len(pkg)-HashSize:]
 	digest := sha256.Sum256(y)
-	h = make([]byte, KeySize)
 	for j := 0; j < HashSize; j++ {
-		h[j] = tail[j] ^ digest[j]
+		hOut[j] = tail[j] ^ digest[j]
 	}
-	block, err := aes.NewCipher(h)
+	block, err := aes.NewCipher(hOut[:])
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	data = make([]byte, len(y))
 	var iv [aes.BlockSize]byte
 	cipher.NewCTR(block, iv[:]).XORKeyStream(data, y)
-	return data, h, nil
+	return nil
 }

@@ -110,6 +110,93 @@ func TestPackageRivestIntoDirtyBuffer(t *testing.T) {
 	}
 }
 
+// TestUnpackIntoMatchesUnpack pins the caller-buffer decode forms to the
+// allocating ones across sizes, over dirty reused buffers and scratch.
+func TestUnpackIntoMatchesUnpack(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	h := make([]byte, KeySize)
+	rng.Read(h)
+	var s Scratch
+	dataBuf := make([]byte, 8192+WordSize)
+	for _, n := range []int{1, 15, 16, 17, 31, 100, 4096, 8192} {
+		data := make([]byte, n)
+		rng.Read(data)
+
+		// OAEP.
+		pkg, err := PackageOAEP(data, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := dataBuf[:n]
+		rng.Read(out) // dirty
+		var hOut [KeySize]byte
+		if err := UnpackOAEPInto(pkg, out, &hOut); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, data) || !bytes.Equal(hOut[:], h) {
+			t.Fatalf("len=%d: UnpackOAEPInto diverged", n)
+		}
+
+		// Rivest.
+		rpkg, err := PackageRivest(data, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		words := (n + WordSize - 1) / WordSize
+		rout := dataBuf[:words*WordSize]
+		rng.Read(rout) // dirty
+		var keyOut [KeySize]byte
+		if err := UnpackRivestInto(rpkg, n, rout, &keyOut, &s); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rout[:n], data) || !bytes.Equal(keyOut[:], h) {
+			t.Fatalf("len=%d: UnpackRivestInto diverged", n)
+		}
+	}
+}
+
+// TestUnpackIntoRejectsCorruption checks the Into decoders surface the
+// same failures as the allocating forms: a flipped canary bit, tampered
+// padding, and wrong buffer sizes.
+func TestUnpackIntoRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	key := make([]byte, KeySize)
+	rng.Read(key)
+	data := make([]byte, 100)
+	rng.Read(data)
+	pkg, err := PackageRivest(data, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := (len(data) + WordSize - 1) / WordSize
+	out := make([]byte, words*WordSize)
+	var keyOut [KeySize]byte
+
+	bad := append([]byte(nil), pkg...)
+	bad[3] ^= 1
+	if err := UnpackRivestInto(bad, len(data), out, &keyOut, nil); err != ErrCanary {
+		t.Errorf("corrupted package: got %v, want ErrCanary", err)
+	}
+	if err := UnpackRivestInto(pkg, len(data), out[:1], &keyOut, nil); err == nil {
+		t.Error("short data buffer accepted")
+	}
+	if err := UnpackRivestInto(pkg, len(data)-20, out, &keyOut, nil); err == nil {
+		t.Error("inconsistent origLen accepted")
+	}
+
+	opkg, err := PackageOAEP(data, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hOut [KeySize]byte
+	if err := UnpackOAEPInto(opkg, make([]byte, 10), &hOut); err == nil {
+		t.Error("OAEP: wrong data buffer size accepted")
+	}
+	if err := UnpackOAEPInto(make([]byte, HashSize-1), nil, &hOut); err != ErrShortPackage {
+		t.Errorf("OAEP: short package got %v", err)
+	}
+}
+
 func TestPackageIntoValidatesSizes(t *testing.T) {
 	h := make([]byte, KeySize)
 	if err := PackageOAEPInto(make([]byte, 10), 5, h); err == nil {

@@ -3,6 +3,7 @@ package bench
 import (
 	"testing"
 
+	"cdstore/internal/race"
 	"cdstore/internal/workload"
 )
 
@@ -72,7 +73,7 @@ func TestEncodingSpeedVsThreadsShape(t *testing.T) {
 }
 
 func TestEncodingSpeedVsNShape(t *testing.T) {
-	if raceEnabled {
+	if race.Enabled {
 		// Race instrumentation slows the GF(2^8) kernels ~100x while AES
 		// and SHA (assembly) keep their speed, which inflates the RS share
 		// of the cost and sinks the n=8/n=4 ratio below any threshold that

@@ -3,6 +3,7 @@ package bench
 import (
 	"testing"
 
+	"cdstore/internal/race"
 	"cdstore/internal/reedsolomon"
 )
 
@@ -12,7 +13,7 @@ import (
 // shards. Wide and scalar are timed adjacently and the best interleaved
 // ratio is kept, so shared background load cancels out.
 func TestWideKernelSpeedup(t *testing.T) {
-	if raceEnabled {
+	if race.Enabled {
 		t.Skip("timing assertion skipped under the race detector")
 	}
 	for _, shardSize := range []int{4 << 10, 64 << 10} {

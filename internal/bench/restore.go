@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cdstore/internal/client"
+	"cdstore/internal/cloud"
+	"cdstore/internal/workload"
+)
+
+// ------------------------------------------------ cluster-level restore
+
+// ClusterRestoreRow is one end-to-end read measurement: a real client
+// restoring through the streaming engine (pipelined windows, arena
+// decode, dedup-aware fetch) from n real cloud servers over TCP — the
+// read-path twin of ClusterEncodeRow.
+type ClusterRestoreRow struct {
+	N, K     int
+	Threads  int
+	DataMB   int
+	Degraded bool // one cloud down: decode leans on parity shards
+	Elapsed  time.Duration
+	MBps     float64
+	Secrets  int64
+	// DownloadedMB is what actually crossed the wire (distinct bytes:
+	// the engine never downloads a fingerprint twice).
+	DownloadedMB  float64
+	SubsetRetries int64
+}
+
+// ClusterRestore starts an n-cloud cluster (in-memory backends, unshaped
+// loopback TCP links so decoding stays the bottleneck), backs up dataMB
+// of random data in fixed 8KB chunks, then restores it to io.Discard
+// with `threads` decode workers and measures throughput. Random data
+// defeats dedup, so every share is fetched and every secret decoded.
+// With degraded set, cloud 0 is failed after the backup: the restore
+// must reconstruct every secret from a parity-bearing k-subset — the
+// degraded-read path of §3.1.
+func ClusterRestore(dataMB, threads, n, k int, degraded bool) (ClusterRestoreRow, error) {
+	cl, err := cloud.NewCluster(cloud.Config{N: n, K: k, ContainerCapacity: 1 << 20})
+	if err != nil {
+		return ClusterRestoreRow{}, err
+	}
+	defer cl.Close()
+	up, err := client.Connect(client.Options{
+		UserID:         1,
+		N:              n,
+		K:              k,
+		EncodeThreads:  threads,
+		FixedChunkSize: 8 << 10,
+	}, cl.Dialers(nil))
+	if err != nil {
+		return ClusterRestoreRow{}, err
+	}
+	data := workload.UniqueData(78, dataMB<<20)
+	if _, err := up.Backup("/bench-restore", newSliceReader(data)); err != nil {
+		up.Close()
+		return ClusterRestoreRow{}, fmt.Errorf("cluster restore backup: %w", err)
+	}
+	up.Close()
+
+	if degraded {
+		cl.FailCloud(0)
+	}
+	down, err := client.Connect(client.Options{
+		UserID:        1,
+		N:             n,
+		K:             k,
+		EncodeThreads: threads,
+	}, cl.Dialers(nil))
+	if err != nil {
+		return ClusterRestoreRow{}, err
+	}
+	defer down.Close()
+	start := time.Now()
+	stats, err := down.Restore("/bench-restore", io.Discard)
+	if err != nil {
+		return ClusterRestoreRow{}, fmt.Errorf("cluster restore: %w", err)
+	}
+	elapsed := time.Since(start)
+	return ClusterRestoreRow{
+		N: n, K: k,
+		Threads:       threads,
+		DataMB:        dataMB,
+		Degraded:      degraded,
+		Elapsed:       elapsed,
+		MBps:          float64(stats.Bytes) / (1 << 20) / elapsed.Seconds(),
+		Secrets:       stats.Secrets,
+		DownloadedMB:  float64(stats.DownloadedBytes) / (1 << 20),
+		SubsetRetries: stats.SubsetRetries,
+	}, nil
+}
+
+// ClusterRestoreSweep runs ClusterRestore for each thread count.
+func ClusterRestoreSweep(dataMB, n, k int, threads []int, degraded bool) ([]ClusterRestoreRow, error) {
+	if len(threads) == 0 {
+		threads = []int{1, 2, 4}
+	}
+	rows := make([]ClusterRestoreRow, 0, len(threads))
+	for _, th := range threads {
+		row, err := ClusterRestore(dataMB, th, n, k, degraded)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

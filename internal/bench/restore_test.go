@@ -1,0 +1,70 @@
+package bench
+
+import "testing"
+
+// TestClusterRestoreEndToEnd drives a small but real 4-cloud restore and
+// checks the row is coherent: every 8KB chunk decoded, distinct bytes
+// downloaded from exactly k clouds (k shares per secret, no dedup on
+// random data), and no subset retries on clean clouds.
+func TestClusterRestoreEndToEnd(t *testing.T) {
+	row, err := ClusterRestore(4, 2, 4, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.MBps <= 0 {
+		t.Fatalf("non-positive throughput: %+v", row)
+	}
+	wantSecrets := int64(4 << 20 / (8 << 10))
+	if row.Secrets != wantSecrets {
+		t.Fatalf("secrets = %d, want %d", row.Secrets, wantSecrets)
+	}
+	if row.SubsetRetries != 0 {
+		t.Fatalf("clean restore needed %d subset retries", row.SubsetRetries)
+	}
+	// k shares per secret at blowup ~n/k: downloaded ~= logical * k * (1/k
+	// + epsilon) = logical + padding/hash overhead; must stay well under
+	// fetching all n shares.
+	logicalMB := float64(row.DataMB)
+	if row.DownloadedMB < logicalMB || row.DownloadedMB > logicalMB*4/3 {
+		t.Fatalf("downloaded %.1fMB for %.0fMB logical; expected [logical, 4/3*logical)", row.DownloadedMB, logicalMB)
+	}
+}
+
+// TestClusterRestoreDegraded fails one cloud first: decode leans on
+// parity shards and must still deliver every byte without retries.
+func TestClusterRestoreDegraded(t *testing.T) {
+	row, err := ClusterRestore(4, 2, 4, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Degraded || row.MBps <= 0 {
+		t.Fatalf("bad degraded row: %+v", row)
+	}
+	if row.SubsetRetries != 0 {
+		t.Fatalf("degraded restore needed %d subset retries (shares were clean)", row.SubsetRetries)
+	}
+}
+
+// BenchmarkClusterRestore measures the end-to-end streaming restore
+// against a real 4-cloud cluster; CI runs it with -benchtime=1x as a
+// smoke test.
+func BenchmarkClusterRestore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row, err := ClusterRestore(4, 2, 4, 3, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(row.MBps, "MB/s")
+	}
+}
+
+// BenchmarkClusterRestoreDegraded is the degraded-read twin.
+func BenchmarkClusterRestoreDegraded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row, err := ClusterRestore(4, 2, 4, 3, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(row.MBps, "MB/s")
+	}
+}

@@ -1,6 +1,10 @@
 package bench
 
-import "testing"
+import (
+	"testing"
+
+	"cdstore/internal/race"
+)
 
 func TestConcurrentSessionsSmoke(t *testing.T) {
 	for _, serialize := range []bool{true, false} {
@@ -45,7 +49,7 @@ func TestShardedIndexSpeedupAt8Sessions(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second measurement")
 	}
-	if raceEnabled {
+	if race.Enabled {
 		// Race instrumentation inflates the workload's CPU share ~5x
 		// while the modeled backend latency stays fixed, compressing
 		// the I/O-overlap speedup this test asserts. CI runs this test

@@ -41,6 +41,17 @@ type Options struct {
 	// fixed-size chunks of this many bytes (§4.2 implements both; the
 	// paper's VM dataset uses 4KB fixed chunks). Zero keeps the default.
 	FixedChunkSize int
+	// RestoreWindow is the number of secrets per pipeline window of the
+	// streaming restore engine: window N+1 is prefetched while the decode
+	// workers drain window N, and memory held by a restore/repair is
+	// O(window), never O(file). Default 512.
+	RestoreWindow int
+	// RestoreCacheBytes bounds the client-side share cache consulted
+	// across restore windows, so a recipe referencing the same share
+	// fingerprint many times downloads it once — restores then pay egress
+	// for distinct bytes only, the dedup-aware read the paper's cost
+	// argument wants. Default 32MB; negative disables the cache.
+	RestoreCacheBytes int
 }
 
 // Client is a CDStore client bound to n cloud connections.
@@ -102,6 +113,12 @@ func Connect(opts Options, dialers []Dialer) (*Client, error) {
 	}
 	if opts.BatchShares <= 0 {
 		opts.BatchShares = 1024
+	}
+	if opts.RestoreWindow <= 0 {
+		opts.RestoreWindow = defaultRestoreWindow
+	}
+	if opts.RestoreCacheBytes == 0 {
+		opts.RestoreCacheBytes = 32 << 20
 	}
 	scheme := opts.Scheme
 	if scheme == nil {

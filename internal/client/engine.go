@@ -1,0 +1,532 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cdstore/internal/cache"
+	"cdstore/internal/metadata"
+	"cdstore/internal/protocol"
+	"cdstore/internal/secretshare"
+)
+
+// defaultRestoreWindow is the default pipeline window (secrets per fetch
+// round trip, Options.RestoreWindow). Individual GetShares calls are
+// additionally bounded by bytes (protocol.BatchBytes, using the recipe's
+// share sizes) so replies stay under protocol.MaxMessage whatever the
+// chunk size.
+const defaultRestoreWindow = 512
+
+// cloudRecipe pairs one available cloud connection with its per-cloud
+// recipe for the file being read.
+type cloudRecipe struct {
+	cloud  int
+	cc     *cloudConn
+	recipe *metadata.Recipe
+}
+
+// secretSink consumes decoded secrets in strict sequence order. The
+// secret buffer is pool-owned and recycled as soon as the sink returns;
+// implementations must not retain it.
+type secretSink func(seq uint64, secret []byte) error
+
+// restoreEngine is the streaming read path shared by Restore and Repair
+// (the decode mirror of BackupStream's pipeline):
+//
+//	fetcher ──jobs──▸ decode workers ──results──▸ in-order writer ──▸ sink
+//
+// One fetcher goroutine walks the recipe in windows, downloading each
+// window's *distinct* share fingerprints from the k primary clouds in
+// parallel (consulting an LRU of recently seen shares across windows, so
+// duplicate fingerprints are downloaded once) and prefetching window N+1
+// while the decode workers drain window N. Decode workers run
+// CombineInto through per-worker arenas — the zero-allocation decode of
+// the scheme layer — falling back to the §3.2 brute-force k-subset
+// retry on integrity failures. A single writer reorders results and
+// streams secrets to the sink in sequence order, recycling each buffer
+// into the shared pool afterwards. Memory held is O(window), not
+// O(file).
+//
+// Fault handling: if a primary cloud fails mid-stream and spare clouds
+// remain (more than k reachable), the fetcher promotes a spare and
+// retries the window's missing fetches instead of failing the restore.
+type restoreEngine struct {
+	c          *Client
+	numSecrets uint64
+	fileSize   uint64
+	window     int
+
+	// mu guards primary/spares: the fetcher reshuffles them on failover
+	// while decode workers snapshot them for subset retries.
+	mu      sync.Mutex
+	primary []cloudRecipe // the k clouds windows are fetched from
+	spares  []cloudRecipe // remaining reachable clouds, promoted on failure
+
+	// shareCache holds recently downloaded shares across windows, keyed
+	// by fingerprint. nil when disabled.
+	shareCache *cache.LRU
+
+	secretPool secretshare.SharePool
+
+	// Hot-path counters (snapshotted into RestoreStats afterwards).
+	downloadedBytes atomic.Int64
+	cacheHitBytes   atomic.Int64
+	subsetRetries   atomic.Int64
+	failovers       atomic.Int64
+	written         int64 // writer-goroutine only
+	secrets         int64 // writer-goroutine only
+}
+
+// newRestoreEngine fetches the per-cloud recipes for path from every
+// available cloud except `exclude` (pass a negative index to exclude
+// none) and validates they agree. At least k clouds must hold the file.
+func (c *Client) newRestoreEngine(path string, exclude int) (*restoreEngine, error) {
+	var avail []cloudRecipe
+	for i, cc := range c.conns {
+		if cc == nil || i == exclude {
+			continue
+		}
+		cloudPath, perr := c.pathForCloud(i, path)
+		if perr != nil {
+			return nil, perr
+		}
+		reply, err := cc.call(protocol.MsgGetRecipe, protocol.EncodeString(cloudPath), protocol.MsgRecipe)
+		if err != nil {
+			continue // cloud up but file unknown there: treat as unavailable
+		}
+		recipe, err := metadata.UnmarshalRecipe(reply)
+		if err != nil {
+			continue
+		}
+		avail = append(avail, cloudRecipe{cloud: i, cc: cc, recipe: recipe})
+	}
+	if len(avail) < c.opts.K {
+		return nil, fmt.Errorf("client: only %d clouds hold %q (< k=%d)", len(avail), path, c.opts.K)
+	}
+	numSecrets := avail[0].recipe.NumSecrets
+	fileSize := avail[0].recipe.FileSize
+	for _, cr := range avail[1:] {
+		if cr.recipe.NumSecrets != numSecrets || cr.recipe.FileSize != fileSize {
+			return nil, fmt.Errorf("client: recipe disagreement between clouds for %q", path)
+		}
+	}
+	e := &restoreEngine{
+		c:          c,
+		numSecrets: numSecrets,
+		fileSize:   fileSize,
+		window:     c.opts.RestoreWindow,
+		primary:    avail[:c.opts.K],
+		spares:     avail[c.opts.K:],
+	}
+	if c.opts.RestoreCacheBytes > 0 {
+		e.shareCache = cache.NewLRU(int64(c.opts.RestoreCacheBytes))
+	}
+	return e, nil
+}
+
+// refRecipe returns a recipe to read per-secret sizes from (they agree
+// across clouds).
+func (e *restoreEngine) refRecipe() *metadata.Recipe {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.primary[0].recipe
+}
+
+// clouds snapshots every cloud the engine may read from (primary +
+// spares), for the brute-force subset retry.
+func (e *restoreEngine) clouds() []cloudRecipe {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]cloudRecipe, 0, len(e.primary)+len(e.spares))
+	out = append(out, e.primary...)
+	return append(out, e.spares...)
+}
+
+// decodeJob is one secret heading into the decode worker pool. shares
+// maps cloud index -> share bytes; the byte slices may be shared between
+// jobs (deduplicated fetches) and must be treated read-only.
+type decodeJob struct {
+	seq        uint64
+	secretSize int
+	shares     map[int][]byte
+}
+
+// decodedSecret is one decode result heading to the in-order writer.
+// data is drawn from the engine's secret pool (or plainly allocated on
+// the brute-force retry path; the pool absorbs either).
+type decodedSecret struct {
+	seq     uint64
+	data    []byte
+	retried bool
+}
+
+// stats assembles the public RestoreStats from the engine counters.
+func (e *restoreEngine) stats() *RestoreStats {
+	return &RestoreStats{
+		Bytes:           e.written,
+		Secrets:         e.secrets,
+		DownloadedBytes: e.downloadedBytes.Load(),
+		CacheHitBytes:   e.cacheHitBytes.Load(),
+		SubsetRetries:   e.subsetRetries.Load(),
+		Failovers:       e.failovers.Load(),
+	}
+}
+
+// run streams every secret of the file through the pipeline into sink,
+// in order. It returns after the last secret has been delivered (or the
+// first error has unwound the pipeline).
+func (e *restoreEngine) run(sink secretSink) error {
+	if e.numSecrets == 0 {
+		return nil
+	}
+	threads := e.c.opts.EncodeThreads
+	jobs := make(chan decodeJob, e.window)
+	results := make(chan decodedSecret, e.window)
+	errCh := make(chan error, threads+2)
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	cancel := func() { closeOnce.Do(func() { close(done) }) }
+	defer cancel()
+
+	// Fetcher: walks the recipe in windows, prefetching ahead of decode.
+	// The jobs channel's capacity (one window) is the pipeline depth: the
+	// fetcher runs at most one window ahead of the slowest decoder.
+	go func() {
+		defer close(jobs)
+		for start := uint64(0); start < e.numSecrets; start += uint64(e.window) {
+			end := start + uint64(e.window)
+			if end > e.numSecrets {
+				end = e.numSecrets
+			}
+			got, err := e.fetchWindow(start, end)
+			if err != nil {
+				select {
+				case errCh <- err:
+				default:
+				}
+				cancel()
+				return
+			}
+			recipe := e.refRecipe()
+			primary := e.clouds()[:e.c.opts.K]
+			for seq := start; seq < end; seq++ {
+				shares := make(map[int][]byte, len(primary))
+				for _, cr := range primary {
+					data, ok := got[cr.recipe.Entries[seq].ShareFP]
+					if !ok {
+						// Unreachable: fetchWindow resolved every
+						// fingerprint of every primary recipe.
+						select {
+						case errCh <- fmt.Errorf("client: share for secret %d missing after fetch", seq):
+						default:
+						}
+						cancel()
+						return
+					}
+					shares[cr.cloud] = data
+				}
+				job := decodeJob{
+					seq:        seq,
+					secretSize: int(recipe.Entries[seq].SecretSize),
+					shares:     shares,
+				}
+				select {
+				case jobs <- job:
+				case <-done:
+					return
+				}
+			}
+		}
+	}()
+
+	// Decode workers: per-worker arenas over the shared secret pool.
+	for t := 0; t < threads; t++ {
+		go func() {
+			arena := secretshare.NewArenaWithPool(&e.secretPool)
+			for job := range jobs {
+				secret, retried, err := e.decodeSecret(job, arena)
+				if err != nil {
+					select {
+					case errCh <- fmt.Errorf("secret %d: %w", job.seq, err):
+					default:
+					}
+					cancel()
+					return
+				}
+				select {
+				case results <- decodedSecret{seq: job.seq, data: secret, retried: retried}:
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+
+	// In-order writer (this goroutine): reorder, deliver, recycle.
+	pending := make(map[uint64]decodedSecret, e.window)
+	next := uint64(0)
+	for next < e.numSecrets {
+		select {
+		case err := <-errCh:
+			return err
+		case d := <-results:
+			pending[d.seq] = d
+			for {
+				dn, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				if dn.retried {
+					e.subsetRetries.Add(1)
+				}
+				if err := sink(next, dn.data); err != nil {
+					return err
+				}
+				e.written += int64(len(dn.data))
+				e.secrets++
+				e.secretPool.Put(dn.data)
+				next++
+			}
+		}
+	}
+	return nil
+}
+
+// fetchWindow downloads the distinct shares every primary cloud needs
+// for secrets [start, end), in parallel across clouds, consulting the
+// cross-window share cache first. On a cloud failure it promotes a spare
+// (if any remain) and retries that slot's fetch — the mid-restore
+// failover path — before giving up. The returned map resolves every
+// fingerprint any primary recipe references in the window.
+func (e *restoreEngine) fetchWindow(start, end uint64) (map[metadata.Fingerprint][]byte, error) {
+	var gotMu sync.Mutex
+	got := make(map[metadata.Fingerprint][]byte, (end-start)*uint64(e.c.opts.K)/2)
+	for {
+		e.mu.Lock()
+		primary := append([]cloudRecipe(nil), e.primary...)
+		e.mu.Unlock()
+
+		type slotErr struct {
+			slot int
+			err  error
+		}
+		var wg sync.WaitGroup
+		failCh := make(chan slotErr, len(primary))
+		for slot, cr := range primary {
+			wg.Add(1)
+			go func(slot int, cr cloudRecipe) {
+				defer wg.Done()
+				if err := e.fetchSlot(cr, start, end, &gotMu, got); err != nil {
+					failCh <- slotErr{slot: slot, err: err}
+				}
+			}(slot, cr)
+		}
+		wg.Wait()
+		close(failCh)
+
+		var failed []slotErr
+		for fe := range failCh {
+			failed = append(failed, fe)
+		}
+		if len(failed) == 0 {
+			return got, nil
+		}
+		// Promote spares into the failed slots; without enough spares the
+		// window — and the restore — fails.
+		e.mu.Lock()
+		for _, fe := range failed {
+			if len(e.spares) == 0 {
+				e.mu.Unlock()
+				return nil, fmt.Errorf("cloud %d: %w (no spare cloud left to fail over to)",
+					primary[fe.slot].cloud, fe.err)
+			}
+			e.primary[fe.slot] = e.spares[0]
+			e.spares = e.spares[1:]
+			e.failovers.Add(1)
+		}
+		e.mu.Unlock()
+	}
+}
+
+// fetchSlot resolves one cloud's distinct fingerprints for the window:
+// cache hits are reused (and counted), the rest are downloaded in
+// batches and inserted into both the window map and the cache.
+func (e *restoreEngine) fetchSlot(
+	cr cloudRecipe,
+	start, end uint64,
+	gotMu *sync.Mutex,
+	got map[metadata.Fingerprint][]byte,
+) error {
+	var need []metadata.Fingerprint
+	var needSize []int // recipe share sizes, for byte-bounded batches
+	gotMu.Lock()
+	for seq := start; seq < end; seq++ {
+		fp := cr.recipe.Entries[seq].ShareFP
+		if _, ok := got[fp]; ok {
+			continue
+		}
+		if e.shareCache != nil {
+			if v, ok := e.shareCache.Get(string(fp[:])); ok {
+				data := v.([]byte)
+				got[fp] = data
+				e.cacheHitBytes.Add(int64(len(data)))
+				continue
+			}
+		}
+		got[fp] = nil // reserve so duplicates within the window fetch once
+		need = append(need, fp)
+		needSize = append(needSize, int(cr.recipe.Entries[seq].ShareSize))
+	}
+	gotMu.Unlock()
+
+	for lo := 0; lo < len(need); {
+		// Bound each GetShares call by reply bytes (protocol.BatchBytes,
+		// mirroring the upload side) as well as count: a count-only cap
+		// would blow protocol.MaxMessage on large chunk sizes.
+		hi, batchBytes := lo, 0
+		for hi < len(need) && hi-lo < defaultRestoreWindow {
+			if hi > lo && batchBytes+needSize[hi] > protocol.BatchBytes {
+				break
+			}
+			batchBytes += needSize[hi]
+			hi++
+		}
+		downloads, err := fetchByFingerprint(cr.cc, need[lo:hi])
+		if err != nil {
+			// Un-reserve this cloud's outstanding fingerprints so the
+			// failover retry (possibly via another cloud's identical
+			// share) fetches them.
+			gotMu.Lock()
+			for _, fp := range need[lo:] {
+				if got[fp] == nil {
+					delete(got, fp)
+				}
+			}
+			gotMu.Unlock()
+			return err
+		}
+		gotMu.Lock()
+		for i := range downloads {
+			data := downloads[i].Data
+			got[downloads[i].Fingerprint] = data
+			e.downloadedBytes.Add(int64(len(data)))
+			if e.shareCache != nil {
+				e.shareCache.AddCharged(string(downloads[i].Fingerprint[:]), data, int64(len(data)))
+			}
+		}
+		gotMu.Unlock()
+		lo = hi
+	}
+	return nil
+}
+
+// fetchByFingerprint downloads the given share fingerprints from one
+// cloud, validating the reply echoes them in order.
+func fetchByFingerprint(cc *cloudConn, fps []metadata.Fingerprint) ([]protocol.ShareDownload, error) {
+	reply, err := cc.call(protocol.MsgGetShares, protocol.EncodeFingerprints(fps), protocol.MsgShares)
+	if err != nil {
+		return nil, err
+	}
+	downloads, err := protocol.DecodeShares(reply)
+	if err != nil {
+		return nil, err
+	}
+	if len(downloads) != len(fps) {
+		return nil, fmt.Errorf("client: got %d shares, want %d", len(downloads), len(fps))
+	}
+	for i := range downloads {
+		if downloads[i].Fingerprint != fps[i] {
+			return nil, fmt.Errorf("client: share %d fingerprint mismatch in reply", i)
+		}
+	}
+	return downloads, nil
+}
+
+// fetchShares downloads the shares for secrets [start, end) of one cloud
+// per its recipe, returning them in sequence order (per-secret helper
+// for the brute-force retry).
+func fetchShares(cc *cloudConn, recipe *metadata.Recipe, start, end uint64) ([][]byte, error) {
+	fps := make([]metadata.Fingerprint, 0, end-start)
+	for s := start; s < end; s++ {
+		fps = append(fps, recipe.Entries[s].ShareFP)
+	}
+	downloads, err := fetchByFingerprint(cc, fps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(downloads))
+	for i := range downloads {
+		out[i] = downloads[i].Data
+	}
+	return out, nil
+}
+
+// decodeSecret decodes one job through the worker's arena; on an
+// integrity failure it falls back to the §3.2 brute-force k-subset retry
+// (a cold path that fetches this secret's share from every remaining
+// cloud and allocates plainly).
+func (e *restoreEngine) decodeSecret(job decodeJob, arena *secretshare.Arena) ([]byte, bool, error) {
+	secret, err := secretshare.CombineWithArena(e.c.scheme, job.shares, job.secretSize, arena)
+	if err == nil {
+		return secret, false, nil
+	}
+	if !errors.Is(err, secretshare.ErrCorrupt) {
+		return nil, false, err
+	}
+	// Brute force: refetch this secret's share from EVERY reachable cloud
+	// — including those already in hand, whose copy may be a transiently
+	// corrupted download pinned in the cross-window cache — falling back
+	// to the in-hand bytes when a refetch fails, then try all k-subsets
+	// until one decodes cleanly. The suspect fingerprints are evicted
+	// from the share cache so later secrets referencing them re-download
+	// clean bytes instead of re-entering this path with the same data.
+	all := make(map[int][]byte, e.c.opts.N)
+	for cloud, data := range job.shares {
+		all[cloud] = data
+	}
+	for _, cr := range e.clouds() {
+		fp := cr.recipe.Entries[job.seq].ShareFP
+		if e.shareCache != nil {
+			e.shareCache.Remove(string(fp[:]))
+		}
+		got, ferr := fetchShares(cr.cc, cr.recipe, job.seq, job.seq+1)
+		if ferr != nil || len(got) != 1 {
+			continue
+		}
+		all[cr.cloud] = got[0]
+		e.downloadedBytes.Add(int64(len(got[0])))
+	}
+	clouds := make([]int, 0, len(all))
+	for cloud := range all {
+		clouds = append(clouds, cloud)
+	}
+	k := e.c.opts.K
+	subset := make([]int, k)
+	var try func(from, depth int) []byte
+	try = func(from, depth int) []byte {
+		if depth == k {
+			sub := make(map[int][]byte, k)
+			for _, ci := range subset[:depth] {
+				sub[ci] = all[ci]
+			}
+			if s, cerr := e.c.scheme.Combine(sub, job.secretSize); cerr == nil {
+				return s
+			}
+			return nil
+		}
+		for i := from; i < len(clouds); i++ {
+			subset[depth] = clouds[i]
+			if s := try(i+1, depth+1); s != nil {
+				return s
+			}
+		}
+		return nil
+	}
+	if s := try(0, 0); s != nil {
+		return s, true, nil
+	}
+	return nil, true, fmt.Errorf("all %d-subsets of %d shares failed integrity checks", k, len(all))
+}

@@ -1,11 +1,11 @@
 package client
 
 import (
-	"bytes"
 	"fmt"
 
 	"cdstore/internal/metadata"
 	"cdstore/internal/protocol"
+	"cdstore/internal/secretshare"
 )
 
 // RepairStats reports a share-rebuild operation.
@@ -13,16 +13,23 @@ type RepairStats struct {
 	Secrets        int64
 	SharesRebuilt  int64
 	BytesReuploads int64
+	// Restore carries the read-side stats of the underlying streaming
+	// restore (downloaded bytes, cache hits, subset retries, failovers).
+	Restore RestoreStats
 }
 
 // Repair rebuilds the shares of a failed cloud for one backup, per §3.1:
 // "In the presence of cloud failures, CDStore reconstructs original
 // secrets and then rebuilds the lost shares as in Reed-Solomon codes."
 //
-// The client restores every secret from the surviving clouds, re-encodes
-// it with the (deterministic) convergent scheme, and uploads share
-// `failedCloud` — plus that cloud's recipe — to the replacement server,
-// which must already be connected at the same cloud index.
+// It runs on the same streaming engine as Restore: secrets arrive in
+// sequence order from the surviving clouds' pipelined windows and are
+// immediately re-encoded with the (deterministic) convergent scheme
+// through a pooled arena; share `failedCloud` of each is batched to the
+// replacement server, which must already be connected at the same cloud
+// index. Memory held is O(window) — no whole-file buffer — and the
+// recipes already fetched by the engine are reused for the rebuilt
+// cloud's recipe instead of a second GetRecipe round trip.
 func (c *Client) Repair(path string, failedCloud int) (*RepairStats, error) {
 	if failedCloud < 0 || failedCloud >= c.opts.N {
 		return nil, fmt.Errorf("client: cloud index %d out of range", failedCloud)
@@ -31,112 +38,101 @@ func (c *Client) Repair(path string, failedCloud int) (*RepairStats, error) {
 	if target == nil {
 		return nil, fmt.Errorf("client: replacement server for cloud %d not connected", failedCloud)
 	}
-	// Restore the file content using the other clouds.
-	var buf bytes.Buffer
-	rstats, err := c.restoreExcluding(path, &buf, failedCloud)
+	e, err := c.newRestoreEngine(path, failedCloud)
 	if err != nil {
 		return nil, err
 	}
-	stats := &RepairStats{Secrets: rstats.Secrets}
-
-	// Re-chunk is not needed: re-encode per recipe secret boundaries.
-	// We recover the secrets by re-running Restore bookkeeping, so here we
-	// re-encode the stream using the surviving recipe's secret sizes.
-	recipeCloud := -1
-	for i, cc := range c.conns {
-		if cc != nil && i != failedCloud {
-			recipeCloud = i
-			break
-		}
-	}
-	if recipeCloud < 0 {
-		return nil, fmt.Errorf("client: no surviving cloud to read recipe from")
-	}
-	recipeCloudPath, err := c.pathForCloud(recipeCloud, path)
-	if err != nil {
-		return nil, err
-	}
-	reply, err := c.conns[recipeCloud].call(protocol.MsgGetRecipe, protocol.EncodeString(recipeCloudPath), protocol.MsgRecipe)
-	if err != nil {
-		return nil, err
-	}
-	recipe, err := metadata.UnmarshalRecipe(reply)
-	if err != nil {
-		return nil, err
-	}
-
 	targetPath, err := c.pathForCloud(failedCloud, path)
 	if err != nil {
 		return nil, err
 	}
-	data := buf.Bytes()
+	stats := &RepairStats{}
 	newRecipe := &metadata.Recipe{
-		FileMeta: metadata.FileMeta{Path: targetPath, FileSize: recipe.FileSize, NumSecrets: recipe.NumSecrets},
-		Entries:  make([]metadata.RecipeEntry, len(recipe.Entries)),
+		FileMeta: metadata.FileMeta{
+			Path:       targetPath,
+			FileSize:   e.fileSize,
+			NumSecrets: e.numSecrets,
+		},
+		Entries: make([]metadata.RecipeEntry, e.numSecrets),
 	}
+
+	// The re-encode sink: one arena over the client's share pool, shares
+	// batched to the target and recycled once flushed. seen suppresses
+	// duplicate uploads the way Backup's uploader does. Each batch entry's
+	// Data is a pool-owned buffer held until its batch flushes.
+	arena := secretshare.NewArenaWithPool(&c.sharePool)
 	var batch []protocol.ShareUpload
 	batchBytes := 0
 	seen := make(map[metadata.Fingerprint]bool)
+	recycleBatch := func() {
+		for i := range batch {
+			c.sharePool.Put(batch[i].Data)
+		}
+		batch = batch[:0]
+		batchBytes = 0
+	}
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
 		}
-		if _, err := target.call(protocol.MsgPutShares, protocol.EncodeShareBatch(batch), protocol.MsgPutOK); err != nil {
-			return err
-		}
-		batch = batch[:0]
-		batchBytes = 0
-		return nil
+		_, err := target.call(protocol.MsgPutShares, protocol.EncodeShareBatch(batch), protocol.MsgPutOK)
+		recycleBatch()
+		return err
 	}
-	off := 0
-	for seq := range recipe.Entries {
-		secretSize := int(recipe.Entries[seq].SecretSize)
-		if off+secretSize > len(data) {
-			return nil, fmt.Errorf("client: restored data shorter than recipe (secret %d)", seq)
-		}
-		secret := data[off : off+secretSize]
-		off += secretSize
-		shares, err := c.scheme.Split(secret)
-		if err != nil {
-			return nil, err
+
+	err = e.run(func(seq uint64, secret []byte) error {
+		shares, serr := secretshare.SplitWithArena(c.scheme, secret, arena)
+		if serr != nil {
+			return fmt.Errorf("re-encode secret %d: %w", seq, serr)
 		}
 		sh := shares[failedCloud]
 		fp := metadata.FingerprintOf(sh)
 		newRecipe.Entries[seq] = metadata.RecipeEntry{
 			ShareFP:    fp,
 			ShareSize:  uint32(len(sh)),
-			SecretSize: uint32(secretSize),
+			SecretSize: uint32(len(secret)),
 		}
-		if !seen[fp] {
-			seen[fp] = true
-			batch = append(batch, protocol.ShareUpload{
-				SecretSeq:  uint64(seq),
-				SecretSize: uint32(secretSize),
-				Data:       sh,
-			})
-			batchBytes += len(sh)
-			stats.SharesRebuilt++
-			stats.BytesReuploads += int64(len(sh))
-			if batchBytes >= protocol.BatchBytes {
-				if err := flush(); err != nil {
-					return nil, err
-				}
+		stats.Secrets++
+		for i, s := range shares {
+			if i == failedCloud {
+				continue
 			}
+			c.sharePool.Put(s) // only the rebuilt cloud's share travels
 		}
+		if seen[fp] {
+			c.sharePool.Put(sh)
+			return nil
+		}
+		seen[fp] = true
+		batch = append(batch, protocol.ShareUpload{
+			SecretSeq:  seq,
+			SecretSize: uint32(len(secret)),
+			Data:       sh,
+		})
+		batchBytes += len(sh)
+		stats.SharesRebuilt++
+		stats.BytesReuploads += int64(len(sh))
+		if batchBytes >= protocol.BatchBytes {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		recycleBatch() // the aborted batch still holds pool buffers
+		return nil, err
 	}
 	if err := flush(); err != nil {
 		return nil, err
+	}
+	stats.Restore = *e.stats()
+	// Same cross-check Restore applies: a recipe whose FileSize disagrees
+	// with the sum of its secret sizes must fail loudly, not be copied
+	// onto the replacement cloud.
+	if uint64(stats.Restore.Bytes) != e.fileSize {
+		return nil, fmt.Errorf("client: repair read %d bytes, recipe says %d", stats.Restore.Bytes, e.fileSize)
 	}
 	if _, err := target.call(protocol.MsgPutRecipe, newRecipe.Marshal(), protocol.MsgPutOK); err != nil {
 		return nil, err
 	}
 	return stats, nil
-}
-
-// restoreExcluding is Restore restricted to clouds other than `excluded`.
-func (c *Client) restoreExcluding(path string, w *bytes.Buffer, excluded int) (*RestoreStats, error) {
-	saved := c.conns[excluded]
-	c.conns[excluded] = nil
-	defer func() { c.conns[excluded] = saved }()
-	return c.Restore(path, w)
 }

@@ -1,253 +1,59 @@
 package client
 
 import (
-	"errors"
 	"fmt"
 	"io"
-	"sync"
-
-	"cdstore/internal/metadata"
-	"cdstore/internal/protocol"
-	"cdstore/internal/secretshare"
 )
 
 // RestoreStats reports what a restore downloaded.
 type RestoreStats struct {
-	Bytes           int64
-	Secrets         int64
+	Bytes   int64
+	Secrets int64
+	// DownloadedBytes counts share bytes actually transferred from the
+	// clouds. The engine fetches each distinct fingerprint once per
+	// window and consults a cross-window cache, so for dedup-heavy files
+	// this tracks distinct bytes, not recipe length — egress is billed
+	// per byte, and duplicate shares are not re-downloaded.
 	DownloadedBytes int64
+	// CacheHitBytes counts share bytes served from the cross-window
+	// restore cache instead of re-downloaded.
+	CacheHitBytes int64
 	// SubsetRetries counts secrets that needed the brute-force k-subset
 	// retry of §3.2 because the first decode failed integrity checks.
 	SubsetRetries int64
-}
-
-// restoreBatch is how many secrets are fetched per GetShares round trip.
-const restoreBatch = 512
-
-// cloudRecipe pairs one available cloud connection with its per-cloud
-// recipe for the file being restored.
-type cloudRecipe struct {
-	cloud  int
-	cc     *cloudConn
-	recipe *metadata.Recipe
+	// Failovers counts primary clouds replaced by spares mid-restore
+	// after a fetch failure (possible while more than k clouds are up).
+	Failovers int64
 }
 
 // Restore downloads the named backup from any k available clouds and
-// writes the reassembled file to w. Corrupted shares are survived by
-// retrying other k-subsets of clouds (§3.2's brute-force approach).
+// streams the reassembled file to w through the pipelined restore engine
+// (prefetched windows, arena-threaded decode workers, in-order writer —
+// see restoreEngine). Corrupted shares are survived by retrying other
+// k-subsets of clouds (§3.2's brute-force approach); a cloud failing
+// mid-restore is survived by failing over to a spare cloud while more
+// than k are reachable.
 func (c *Client) Restore(path string, w io.Writer) (*RestoreStats, error) {
-	// Fetch the per-cloud recipes from every available cloud; we need k
-	// to decode and the rest enable subset retries.
-	var avail []cloudRecipe
-	for i, cc := range c.conns {
-		if cc == nil {
-			continue
-		}
-		cloudPath, perr := c.pathForCloud(i, path)
-		if perr != nil {
-			return nil, perr
-		}
-		reply, err := cc.call(protocol.MsgGetRecipe, protocol.EncodeString(cloudPath), protocol.MsgRecipe)
-		if err != nil {
-			continue // cloud up but file unknown there: treat as unavailable
-		}
-		recipe, err := metadata.UnmarshalRecipe(reply)
-		if err != nil {
-			continue
-		}
-		avail = append(avail, cloudRecipe{cloud: i, cc: cc, recipe: recipe})
-	}
-	if len(avail) < c.opts.K {
-		return nil, fmt.Errorf("client: only %d clouds hold %q (< k=%d)", len(avail), path, c.opts.K)
-	}
-	numSecrets := avail[0].recipe.NumSecrets
-	fileSize := avail[0].recipe.FileSize
-	for _, cr := range avail[1:] {
-		if cr.recipe.NumSecrets != numSecrets || cr.recipe.FileSize != fileSize {
-			return nil, fmt.Errorf("client: recipe disagreement between clouds for %q", path)
-		}
-	}
-	stats := &RestoreStats{}
+	return c.restore(path, w, -1)
+}
 
-	for start := uint64(0); start < numSecrets; start += restoreBatch {
-		end := start + restoreBatch
-		if end > numSecrets {
-			end = numSecrets
-		}
-		count := int(end - start)
-
-		// Fetch this window's shares from the first k clouds in parallel;
-		// extras are fetched lazily only if a decode fails.
-		shareData := make([]map[int][]byte, count) // per secret: cloud -> share
-		for i := range shareData {
-			shareData[i] = make(map[int][]byte, c.opts.K)
-		}
-		primary := avail[:c.opts.K]
-		var wg sync.WaitGroup
-		errCh := make(chan error, len(primary))
-		var mu sync.Mutex
-		for _, cr := range primary {
-			wg.Add(1)
-			go func(cr cloudRecipe) {
-				defer wg.Done()
-				shares, err := fetchShares(cr.cc, cr.recipe, start, end)
-				if err != nil {
-					errCh <- fmt.Errorf("cloud %d: %w", cr.cloud, err)
-					return
-				}
-				mu.Lock()
-				for i, s := range shares {
-					shareData[i][cr.cloud] = s
-					stats.DownloadedBytes += int64(len(s))
-				}
-				mu.Unlock()
-			}(cr)
-		}
-		wg.Wait()
-		close(errCh)
-		for err := range errCh {
-			if err != nil {
-				return nil, err
-			}
-		}
-
-		// Decode the window on the worker pool.
-		secrets := make([][]byte, count)
-		decErr := make(chan error, c.opts.EncodeThreads)
-		idxCh := make(chan int, count)
-		for i := 0; i < count; i++ {
-			idxCh <- i
-		}
-		close(idxCh)
-		var dwg sync.WaitGroup
-		for t := 0; t < c.opts.EncodeThreads; t++ {
-			dwg.Add(1)
-			go func() {
-				defer dwg.Done()
-				for i := range idxCh {
-					seq := start + uint64(i)
-					secretSize := int(primary[0].recipe.Entries[seq].SecretSize)
-					secret, retried, err := c.decodeWithRetry(shareData[i], secretSize, seq, avail)
-					if err != nil {
-						decErr <- fmt.Errorf("secret %d: %w", seq, err)
-						return
-					}
-					if retried {
-						mu.Lock()
-						stats.SubsetRetries++
-						mu.Unlock()
-					}
-					secrets[i] = secret
-				}
-			}()
-		}
-		dwg.Wait()
-		close(decErr)
-		for err := range decErr {
-			if err != nil {
-				return nil, err
-			}
-		}
-		for _, secret := range secrets {
-			if _, err := w.Write(secret); err != nil {
-				return nil, err
-			}
-			stats.Bytes += int64(len(secret))
-			stats.Secrets++
-		}
+// restore is Restore with an optionally excluded cloud (Repair excludes
+// the cloud being rebuilt).
+func (c *Client) restore(path string, w io.Writer, exclude int) (*RestoreStats, error) {
+	e, err := c.newRestoreEngine(path, exclude)
+	if err != nil {
+		return nil, err
 	}
-	if uint64(stats.Bytes) != fileSize {
-		return nil, fmt.Errorf("client: restored %d bytes, recipe says %d", stats.Bytes, fileSize)
+	err = e.run(func(_ uint64, secret []byte) error {
+		_, werr := w.Write(secret)
+		return werr
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats := e.stats()
+	if uint64(stats.Bytes) != e.fileSize {
+		return nil, fmt.Errorf("client: restored %d bytes, recipe says %d", stats.Bytes, e.fileSize)
 	}
 	return stats, nil
-}
-
-// decodeWithRetry decodes one secret; on integrity failure it pulls
-// replacement shares from other available clouds and tries other subsets.
-func (c *Client) decodeWithRetry(
-	shares map[int][]byte,
-	secretSize int,
-	seq uint64,
-	avail []cloudRecipe,
-) ([]byte, bool, error) {
-	secret, err := c.scheme.Combine(shares, secretSize)
-	if err == nil {
-		return secret, false, nil
-	}
-	if !errors.Is(err, secretshare.ErrCorrupt) {
-		return nil, false, err
-	}
-	// Brute force: fetch this secret's share from every remaining cloud,
-	// then try all k-subsets until one decodes cleanly.
-	all := make(map[int][]byte, len(avail))
-	for cloud, data := range shares {
-		all[cloud] = data
-	}
-	for _, cr := range avail {
-		if _, ok := all[cr.cloud]; ok {
-			continue
-		}
-		got, ferr := fetchShares(cr.cc, cr.recipe, seq, seq+1)
-		if ferr != nil || len(got) != 1 {
-			continue
-		}
-		all[cr.cloud] = got[0]
-	}
-	clouds := make([]int, 0, len(all))
-	for cloud := range all {
-		clouds = append(clouds, cloud)
-	}
-	subset := make([]int, c.opts.K)
-	var try func(start, depth int) []byte
-	try = func(start, depth int) []byte {
-		if depth == c.opts.K {
-			sub := make(map[int][]byte, c.opts.K)
-			for _, ci := range subset[:depth] {
-				sub[ci] = all[ci]
-			}
-			if s, cerr := c.scheme.Combine(sub, secretSize); cerr == nil {
-				return s
-			}
-			return nil
-		}
-		for i := start; i < len(clouds); i++ {
-			subset[depth] = clouds[i]
-			if s := try(i+1, depth+1); s != nil {
-				return s
-			}
-		}
-		return nil
-	}
-	if s := try(0, 0); s != nil {
-		return s, true, nil
-	}
-	return nil, true, fmt.Errorf("all %d-subsets of %d shares failed integrity checks", c.opts.K, len(all))
-}
-
-// fetchShares downloads the shares for secrets [start, end) of one cloud
-// per its recipe, returning them in sequence order.
-func fetchShares(cc *cloudConn, recipe *metadata.Recipe, start, end uint64) ([][]byte, error) {
-	fps := make([]metadata.Fingerprint, 0, end-start)
-	for s := start; s < end; s++ {
-		fps = append(fps, recipe.Entries[s].ShareFP)
-	}
-	reply, err := cc.call(protocol.MsgGetShares, protocol.EncodeFingerprints(fps), protocol.MsgShares)
-	if err != nil {
-		return nil, err
-	}
-	downloads, err := protocol.DecodeShares(reply)
-	if err != nil {
-		return nil, err
-	}
-	if len(downloads) != len(fps) {
-		return nil, fmt.Errorf("client: got %d shares, want %d", len(downloads), len(fps))
-	}
-	out := make([][]byte, len(fps))
-	for i := range downloads {
-		if downloads[i].Fingerprint != fps[i] {
-			return nil, fmt.Errorf("client: share %d fingerprint mismatch in reply", i)
-		}
-		out[i] = downloads[i].Data
-	}
-	return out, nil
 }

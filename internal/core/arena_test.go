@@ -2,9 +2,11 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 
+	"cdstore/internal/race"
 	"cdstore/internal/secretshare"
 )
 
@@ -94,6 +96,98 @@ func TestSplitIntoPooledBuffers(t *testing.T) {
 	}
 }
 
+// TestCombineIntoMatchesCombine pins the arena decode path to plain
+// Combine for both convergent schemes: identical secrets across sizes
+// that exercise padding, across k-subsets including degraded ones (parity
+// shards in play), and across arena reuse (dirty scratch).
+func TestCombineIntoMatchesCombine(t *testing.T) {
+	caontrs, err := NewCAONTRS(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	salted, err := NewCAONTRSWithSalt(5, 3, []byte("org-salt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rivest, err := NewCAONTRSRivest(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := []secretshare.ArenaScheme{caontrs, salted, rivest}
+	rng := rand.New(rand.NewSource(44))
+	arena := secretshare.NewArena()
+	for _, s := range schemes {
+		for _, n := range []int{1, 31, 32, 100, 4096, 8192, 8193} {
+			secret := make([]byte, n)
+			rng.Read(secret)
+			shares, err := s.Split(secret)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// All-data subset and a degraded subset leaning on parity.
+			subsets := [][]int{{0, 1, 2}, {1, 2, 3}, {0, 2, 3}}
+			for _, sub := range subsets {
+				have := map[int][]byte{}
+				for _, i := range sub {
+					have[i] = shares[i]
+				}
+				want, err := s.Combine(have, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := s.CombineInto(have, n, arena)
+				if err != nil {
+					t.Fatalf("%s len=%d subset=%v: %v", s.Name(), n, sub, err)
+				}
+				if !bytes.Equal(got, want) || !bytes.Equal(got, secret) {
+					t.Fatalf("%s len=%d subset=%v: arena decode diverged", s.Name(), n, sub)
+				}
+				// Nil arena must fall back to plain Combine.
+				got2, err := s.CombineInto(have, n, nil)
+				if err != nil || !bytes.Equal(got2, secret) {
+					t.Fatalf("%s len=%d: nil-arena CombineInto failed: %v", s.Name(), n, err)
+				}
+			}
+		}
+	}
+}
+
+// TestCombineIntoDetectsCorruption checks the arena decode surfaces
+// ErrCorrupt on tampered shares — the signal decodeWithRetry keys its
+// brute-force subset search on — and that a pooled result buffer is
+// recycled rather than leaked on that path.
+func TestCombineIntoDetectsCorruption(t *testing.T) {
+	for _, mk := range []func() (secretshare.ArenaScheme, error){
+		func() (secretshare.ArenaScheme, error) { return NewCAONTRS(4, 3) },
+		func() (secretshare.ArenaScheme, error) { return NewCAONTRSRivest(4, 3) },
+	} {
+		s, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := &secretshare.SharePool{}
+		arena := secretshare.NewArenaWithPool(pool)
+		secret := make([]byte, 5000)
+		rand.New(rand.NewSource(45)).Read(secret)
+		shares, err := s.Split(secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares[1][7] ^= 0x40
+		have := map[int][]byte{0: shares[0], 1: shares[1], 2: shares[2]}
+		if _, err := s.CombineInto(have, len(secret), arena); !errors.Is(err, secretshare.ErrCorrupt) {
+			t.Fatalf("%s: tampered share decoded: err=%v", s.Name(), err)
+		}
+		// The buffer drawn for the failed decode must be back in the pool:
+		// a clean decode right after must not grow it.
+		shares[1][7] ^= 0x40
+		got, err := s.CombineInto(have, len(secret), arena)
+		if err != nil || !bytes.Equal(got, secret) {
+			t.Fatalf("%s: clean decode after corrupt one failed: %v", s.Name(), err)
+		}
+	}
+}
+
 // TestSplitIntoAllocations is the steady-state allocation regression
 // test: with a warmed arena and share pool, the per-secret encode path
 // (pad -> hash -> CAONT -> RS split -> RS encode) must stay at a
@@ -106,7 +200,7 @@ func TestSplitIntoPooledBuffers(t *testing.T) {
 // Everything else in the pipeline — package scratch, hash states, share
 // buffers, shard headers — is reused.
 func TestSplitIntoAllocations(t *testing.T) {
-	if raceEnabled {
+	if race.Enabled {
 		t.Skip("allocation counts skipped under the race detector (sync.Pool drops Puts)")
 	}
 	for _, tc := range []struct {
@@ -153,6 +247,72 @@ func TestSplitIntoAllocations(t *testing.T) {
 			})
 			if allocs > tc.budget {
 				t.Errorf("SplitInto allocates %.1f objects per secret, want <= %.0f", allocs, tc.budget)
+			}
+		})
+	}
+}
+
+// TestCombineIntoAllocations is the decode twin of
+// TestSplitIntoAllocations: with a warmed arena and share pool, the
+// per-secret decode path (validate -> RS reconstruct -> un-AONT ->
+// convergent integrity check) must stay at the same per-scheme budget as
+// encode. The irreducible remainder is again the per-key AES state — the
+// key here is recovered from the package, so it cannot be cached either.
+// Both the all-data fast path and a degraded (parity-bearing) subset are
+// pinned; the degraded path relies on the codec's cached inverse rows.
+func TestCombineIntoAllocations(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts skipped under the race detector (sync.Pool drops Puts)")
+	}
+	for _, tc := range []struct {
+		name   string
+		scheme func() (secretshare.ArenaScheme, error)
+		// budget: 3 for CAONT-RS (AES key schedule + stdlib CTR stream),
+		// 2 for Rivest (key schedule only — its per-word Encrypt runs
+		// through the arena's aont.Scratch). Same floors as SplitInto,
+		// for the same reasons.
+		budget float64
+	}{
+		{"unsalted", func() (secretshare.ArenaScheme, error) { return NewCAONTRS(4, 3) }, 3},
+		{"salted", func() (secretshare.ArenaScheme, error) { return NewCAONTRSWithSalt(4, 3, []byte("org")) }, 3},
+		{"rivest", func() (secretshare.ArenaScheme, error) { return NewCAONTRSRivest(4, 3) }, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			scheme, err := tc.scheme()
+			if err != nil {
+				t.Fatal(err)
+			}
+			secret := make([]byte, 8192)
+			rand.New(rand.NewSource(46)).Read(secret)
+			shares, err := scheme.Split(secret)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, have := range map[string]map[int][]byte{
+				"fast-path": {0: shares[0], 1: shares[1], 2: shares[2]},
+				"degraded":  {0: shares[0], 2: shares[2], 3: shares[3]},
+			} {
+				pool := &secretshare.SharePool{}
+				arena := secretshare.NewArenaWithPool(pool)
+				// Warm up: grows the scratch, fills the pool, caches the
+				// HMAC state and the degraded subset's inverse rows.
+				for i := 0; i < 4; i++ {
+					out, err := scheme.CombineInto(have, len(secret), arena)
+					if err != nil {
+						t.Fatal(err)
+					}
+					pool.Put(out)
+				}
+				allocs := testing.AllocsPerRun(100, func() {
+					out, err := scheme.CombineInto(have, len(secret), arena)
+					if err != nil {
+						t.Fatal(err)
+					}
+					pool.Put(out)
+				})
+				if allocs > tc.budget {
+					t.Errorf("%s: CombineInto allocates %.1f objects per secret, want <= %.0f", name, allocs, tc.budget)
+				}
 			}
 		})
 	}

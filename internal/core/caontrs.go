@@ -145,6 +145,54 @@ func (c *CAONTRS) SplitInto(secret []byte, a *secretshare.Arena) ([][]byte, erro
 	return shards, nil
 }
 
+// CombineInto implements secretshare.ArenaScheme: Figure 3's decoding
+// pipeline with every reusable temporary drawn from the caller's arena,
+// mirroring SplitInto. The k data shards are RS-reconstructed directly
+// into contiguous arena scratch — for CAONT-RS the package length is
+// exactly k share sizes, so the reconstructed shards ARE the package and
+// no Join pass exists — then the OAEP unpack decrypts into a pool-drawn
+// buffer the returned secret aliases. Steady state is the per-key AES
+// state again (key schedule + CTR stream; asserted at <= 3 allocations
+// by TestCombineIntoAllocations). A nil arena behaves like Combine. On
+// any error, including a failed integrity check, the pool buffer is
+// recycled before returning.
+func (c *CAONTRS) CombineInto(shares map[int][]byte, secretSize int, a *secretshare.Arena) ([]byte, error) {
+	if a == nil {
+		return c.Combine(shares, secretSize)
+	}
+	want := c.ShareSize(secretSize)
+	if err := secretshare.ValidateShareMap(shares, c.n, c.k, want); err != nil {
+		return nil, err
+	}
+	p := c.paddedSecretSize(secretSize)
+	pkgLen := p + HashSize // == c.k * want by construction
+	buf := a.Scratch(pkgLen)
+	outs := a.ShardHeaders(c.k)
+	for i := range outs {
+		outs[i] = buf[i*want : (i+1)*want]
+	}
+	if err := c.codec.ReconstructDataInto(shares, outs); err != nil {
+		return nil, err
+	}
+	padded := a.ResultBuf(p)
+	if err := aont.UnpackOAEPInto(buf, padded, &a.KeyOut); err != nil {
+		a.Recycle(padded)
+		return nil, err
+	}
+	c.hasher.sumInto(padded, &a.HashKey)
+	if !hmac.Equal(a.HashKey[:], a.KeyOut[:]) {
+		a.Recycle(padded)
+		return nil, secretshare.ErrCorrupt
+	}
+	for _, b := range padded[secretSize:] {
+		if b != 0 {
+			a.Recycle(padded)
+			return nil, secretshare.ErrCorrupt
+		}
+	}
+	return padded[:secretSize], nil
+}
+
 // Combine implements secretshare.Scheme: Figure 3's decoding pipeline,
 // including the integrity check H(X) == h. A failed check returns
 // secretshare.ErrCorrupt so callers can retry with a different k-subset

@@ -82,3 +82,25 @@ func (c *CAONTRSRivest) Combine(shares map[int][]byte, secretSize int) ([]byte, 
 	}
 	return secret, nil
 }
+
+// CombineInto implements secretshare.ArenaScheme (nil arena behaves like
+// Combine): the inner AONT-RS decode runs through the arena (leaving the
+// recovered package key in the arena's KeyOut), then the convergent check
+// key == H(secret) is derived through the pooled hasher into the arena's
+// key scratch — the decode twin of SplitInto's discipline. On a failed
+// check the pool buffer is recycled before ErrCorrupt surfaces.
+func (c *CAONTRSRivest) CombineInto(shares map[int][]byte, secretSize int, a *secretshare.Arena) ([]byte, error) {
+	if a == nil {
+		return c.Combine(shares, secretSize)
+	}
+	secret, key, err := c.inner.CombineWithKeyInto(shares, secretSize, a)
+	if err != nil {
+		return nil, err
+	}
+	c.hasher.sumInto(secret, &a.HashKey)
+	if !hmac.Equal(a.HashKey[:], key) {
+		a.Recycle(secret)
+		return nil, secretshare.ErrCorrupt
+	}
+	return secret, nil
+}

@@ -94,12 +94,13 @@ func shardOf(fp metadata.Fingerprint) int { return int(fp[0]) % NumShards }
 // index lives in dir/shards/NN (one lsmkv store per shard, opened in
 // parallel so recovery scans shards concurrently); the file index lives
 // in dir/files. A directory holding the retired single-store layout
-// (lsmkv files directly in dir) is rejected loudly rather than silently
-// shadowed by a fresh empty index.
+// (lsmkv files directly in dir) is migrated in place into the sharded
+// layout before opening, so long-lived pre-sharding deployments survive
+// an upgrade.
 func Open(dir string) (*Index, error) {
-	for _, pat := range []string{"*.sst", "wal.log"} {
-		if old, _ := filepath.Glob(filepath.Join(dir, pat)); len(old) > 0 {
-			return nil, fmt.Errorf("index: %s holds a pre-sharding single-store index (%s); migrate or re-create it before opening", dir, filepath.Base(old[0]))
+	if legacy := legacyStoreFiles(dir); len(legacy) > 0 {
+		if err := migrateLegacy(dir); err != nil {
+			return nil, fmt.Errorf("index: migrating pre-sharding single-store index in %s: %w", dir, err)
 		}
 	}
 	ix := &Index{}

@@ -1,0 +1,106 @@
+package index
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cdstore/internal/lsmkv"
+	"cdstore/internal/metadata"
+)
+
+// legacyStoreFiles returns the lsmkv files of a pre-sharding single-store
+// index sitting directly in dir (the layout retired when the share index
+// was split into 64 shards).
+func legacyStoreFiles(dir string) []string {
+	var out []string
+	for _, pat := range []string{"*.sst", "wal.log"} {
+		if m, _ := filepath.Glob(filepath.Join(dir, pat)); len(m) > 0 {
+			out = append(out, m...)
+		}
+	}
+	return out
+}
+
+// migrateLegacy converts a pre-sharding single-store index into the
+// sharded layout: share entries are redistributed into dir/shards/NN by
+// fingerprint byte 0 and file entries move to dir/files, raw key/value
+// pairs copied verbatim (the entry codecs never changed). The legacy
+// files are removed only after every destination store has flushed, so
+// a crash mid-migration leaves them in place and the next Open simply
+// re-copies — every Put is idempotent.
+func migrateLegacy(dir string) error {
+	old, err := lsmkv.Open(dir, nil)
+	if err != nil {
+		return err
+	}
+	shardDBs := make(map[int]*lsmkv.DB)
+	var filesDB *lsmkv.DB
+	closeAll := func() {
+		for _, db := range shardDBs {
+			db.Close()
+		}
+		if filesDB != nil {
+			filesDB.Close()
+		}
+		old.Close()
+	}
+
+	err = old.Scan([]byte(sharePrefix), func(k, v []byte) error {
+		if len(k) != len(sharePrefix)+metadata.FingerprintSize {
+			return fmt.Errorf("malformed share key (%d bytes)", len(k))
+		}
+		var fp metadata.Fingerprint
+		copy(fp[:], k[len(sharePrefix):])
+		s := shardOf(fp)
+		db, ok := shardDBs[s]
+		if !ok {
+			var oerr error
+			db, oerr = lsmkv.Open(filepath.Join(dir, "shards", fmt.Sprintf("%02x", s)), nil)
+			if oerr != nil {
+				return oerr
+			}
+			shardDBs[s] = db
+		}
+		return db.Put(k, v)
+	})
+	if err == nil {
+		err = old.Scan([]byte(filePrefix), func(k, v []byte) error {
+			if filesDB == nil {
+				var oerr error
+				filesDB, oerr = lsmkv.Open(filepath.Join(dir, "files"), nil)
+				if oerr != nil {
+					return oerr
+				}
+			}
+			return filesDB.Put(k, v)
+		})
+	}
+	if err != nil {
+		closeAll()
+		return err
+	}
+	// Flush the destinations before touching the source.
+	for _, db := range shardDBs {
+		if err := db.Flush(); err != nil {
+			closeAll()
+			return err
+		}
+	}
+	if filesDB != nil {
+		if err := filesDB.Flush(); err != nil {
+			closeAll()
+			return err
+		}
+	}
+	closeAll()
+	// Point of no return: the sharded copies are durable, drop the legacy
+	// store (re-glob — closing the old DB may have flushed its memtable
+	// into a fresh .sst).
+	for _, f := range legacyStoreFiles(dir) {
+		if err := os.Remove(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

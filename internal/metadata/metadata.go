@@ -154,6 +154,13 @@ func UnmarshalRecipe(src []byte) (*Recipe, error) {
 	if count < 0 || len(src)-p != count*entryWire {
 		return nil, ErrInconsistency
 	}
+	// The entry count must agree with the header's NumSecrets: consumers
+	// index Entries[seq] for seq < NumSecrets (and size allocations by
+	// it), so a recipe lying about either field must die here, not panic
+	// a restore or balloon a repair.
+	if uint64(count) != r.NumSecrets {
+		return nil, ErrInconsistency
+	}
 	r.Entries = make([]RecipeEntry, count)
 	for i := 0; i < count; i++ {
 		e := &r.Entries[i]

@@ -146,11 +146,23 @@ func TestRecipeCorruptInputs(t *testing.T) {
 	if _, err := UnmarshalRecipe(append(append([]byte(nil), enc...), 0xFF)); err == nil {
 		t.Fatal("trailing garbage accepted")
 	}
+	// A recipe whose header NumSecrets disagrees with the entry count must
+	// be rejected: restore indexes Entries[seq] for seq < NumSecrets and
+	// repair sizes allocations by it, so a liar dies at decode time.
+	lying := append([]byte(nil), enc...)
+	// NumSecrets is the u64 after version, path length, path, FileSize.
+	off := 1 + 4 + len(r.Path) + 8
+	lying[off+7] = 2 // NumSecrets: 1 -> 2, entry count still 1
+	if _, err := UnmarshalRecipe(lying); err != ErrInconsistency {
+		t.Fatalf("NumSecrets/entry-count mismatch accepted: %v", err)
+	}
 }
 
 func TestRecipePropertyRoundTrip(t *testing.T) {
-	err := quick.Check(func(path string, size, nsec uint64, fps [][32]byte) bool {
-		r := &Recipe{FileMeta: FileMeta{Path: path, FileSize: size, NumSecrets: nsec}}
+	err := quick.Check(func(path string, size uint64, fps [][32]byte) bool {
+		// NumSecrets must equal the entry count — the decoder enforces the
+		// invariant every producer upholds.
+		r := &Recipe{FileMeta: FileMeta{Path: path, FileSize: size, NumSecrets: uint64(len(fps))}}
 		for _, fp := range fps {
 			r.Entries = append(r.Entries, RecipeEntry{ShareFP: fp, ShareSize: 1, SecretSize: 2})
 		}
@@ -158,7 +170,7 @@ func TestRecipePropertyRoundTrip(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if got.Path != path || got.FileSize != size || got.NumSecrets != nsec || len(got.Entries) != len(fps) {
+		if got.Path != path || got.FileSize != size || got.NumSecrets != uint64(len(fps)) || len(got.Entries) != len(fps) {
 			return false
 		}
 		for i := range fps {

@@ -1,9 +1,12 @@
 //go:build race
 
-package core
+package race
 
-// raceEnabled reports whether the race detector is compiled in.
+// Enabled reports whether the race detector is compiled in.
+//
 // Allocation assertions consult it: under race, sync.Pool deliberately
 // drops a fraction of Puts to shake out lifecycle races, so pooled
 // states get reallocated and per-call allocation counts are inflated.
-const raceEnabled = true
+// Timing assertions consult it too: race instrumentation distorts the
+// CPU/I-O ratio that speedup measurements depend on.
+const Enabled = true

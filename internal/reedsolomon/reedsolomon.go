@@ -3,6 +3,7 @@ package reedsolomon
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"cdstore/internal/gf256"
 )
@@ -15,6 +16,20 @@ type Codec struct {
 	parity     *Matrix  // (n-k) x k parity sub-matrix (rows k..n-1 of enc)
 	parityRows [][]byte // parity's rows, precomputed so Encode allocates nothing
 	field      *gf256.Field
+
+	// invMu guards invCache, the per-k-subset inverse rows
+	// ReconstructDataInto caches so steady-state degraded decodes pay the
+	// matrix inversion once per subset, not once per secret. Keyed by the
+	// subset bitmask, so only geometries with n <= 64 are cached (larger n
+	// falls back to inverting per call). At most C(n, k) entries of k
+	// k-byte rows each — tiny for real deployments (4 entries at (4,3)).
+	invMu    sync.RWMutex
+	invCache map[uint64][][]byte
+
+	// decodePool recycles the slice headers ReconstructDataInto needs per
+	// call (chosen indices, input/output row views), keeping the decode
+	// hot path allocation-free.
+	decodePool sync.Pool
 }
 
 // Common error values returned by the codec.
@@ -61,6 +76,8 @@ func NewWithField(n, k int, field *gf256.Field) (*Codec, error) {
 	for r := range c.parityRows {
 		c.parityRows[r] = c.parity.Row(r)
 	}
+	c.invCache = make(map[uint64][][]byte)
+	c.decodePool.New = func() interface{} { return new(decodeScratch) }
 	return c, nil
 }
 
@@ -283,6 +300,150 @@ func (c *Codec) ReconstructData(have map[int][]byte) ([][]byte, error) {
 	}
 	c.mulRows(rows, in, data)
 	return data, nil
+}
+
+// decodeScratch holds the per-call slice headers ReconstructDataInto
+// reuses across calls through the codec's pool.
+type decodeScratch struct {
+	idxs []int
+	in   [][]byte
+	rows [][]byte
+	outs [][]byte
+}
+
+func (ds *decodeScratch) ints(n int) []int {
+	if cap(ds.idxs) < n {
+		ds.idxs = make([]int, 0, n)
+	}
+	return ds.idxs[:0]
+}
+
+// release drops the buffer references a decode left in the scratch —
+// truncating alone would keep them reachable through the backing arrays
+// for as long as the pooled scratch lives — and returns it to the pool.
+func (c *Codec) release(ds *decodeScratch) {
+	for _, s := range [][][]byte{ds.in, ds.rows, ds.outs} {
+		s = s[:cap(s)]
+		for i := range s {
+			s[i] = nil
+		}
+	}
+	ds.in, ds.rows, ds.outs = ds.in[:0], ds.rows[:0], ds.outs[:0]
+	c.decodePool.Put(ds)
+}
+
+// inverseRows returns the k rows of the inverse of the encoding sub-matrix
+// picked by idxs (ascending, length k): row j reconstructs data shard j
+// from the chosen shards. Results are cached per subset when n <= 64.
+func (c *Codec) inverseRows(idxs []int) ([][]byte, error) {
+	var key uint64
+	cacheable := c.n <= 64
+	if cacheable {
+		for _, i := range idxs {
+			key |= 1 << uint(i)
+		}
+		c.invMu.RLock()
+		rows, ok := c.invCache[key]
+		c.invMu.RUnlock()
+		if ok {
+			return rows, nil
+		}
+	}
+	sub := c.enc.PickRows(idxs)
+	inv, err := sub.Invert()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]byte, c.k)
+	for r := range rows {
+		rows[r] = inv.Row(r)
+	}
+	if cacheable {
+		c.invMu.Lock()
+		c.invCache[key] = rows
+		c.invMu.Unlock()
+	}
+	return rows, nil
+}
+
+// ReconstructDataInto is the caller-buffer form of ReconstructData: the k
+// data shards are recovered into out (k buffers of the common shard
+// size), which must not overlap any shard in have. Like ReconstructData
+// it uses the k available shards with the lowest indices. Because every
+// data shard present is copied and only the missing ones are computed
+// (with inverse rows cached per subset, blocked through the wide
+// kernels), steady-state decode allocates nothing — the decode mirror of
+// Encode/EncodeInto.
+func (c *Codec) ReconstructDataInto(have map[int][]byte, out [][]byte) error {
+	if len(out) != c.k {
+		return fmt.Errorf("reedsolomon: ReconstructDataInto requires %d output buffers, got %d", c.k, len(out))
+	}
+	ds := c.decodePool.Get().(*decodeScratch)
+	defer c.release(ds)
+	idxs := ds.ints(len(have))
+	for i := range have {
+		if i < 0 || i >= c.n {
+			ds.idxs = idxs
+			return fmt.Errorf("%w: %d", ErrInvalidShardNum, i)
+		}
+		idxs = append(idxs, i)
+	}
+	ds.idxs = idxs
+	if len(idxs) < c.k {
+		return ErrTooFewShards
+	}
+	sortInts(idxs)
+	idxs = idxs[:c.k]
+
+	size := -1
+	for _, i := range idxs {
+		if size == -1 {
+			size = len(have[i])
+		}
+		if len(have[i]) != size || size == 0 {
+			return ErrShardSize
+		}
+	}
+	for _, o := range out {
+		if len(o) != size {
+			return ErrShardSize
+		}
+	}
+
+	// Copy every data shard that is present (the chosen indices are the k
+	// lowest, so any present data shard is always chosen) and collect the
+	// inverse rows for the missing ones. The all-data fast path reduces to
+	// k copies with no matrix work at all.
+	in := ds.in[:0]
+	mrows := ds.rows[:0]
+	mouts := ds.outs[:0]
+	missing := false
+	for j := 0; j < c.k; j++ {
+		if s, ok := have[j]; ok {
+			copy(out[j], s)
+		} else {
+			missing = true
+		}
+	}
+	if missing {
+		rows, err := c.inverseRows(idxs)
+		if err != nil {
+			return err
+		}
+		for _, i := range idxs {
+			in = append(in, have[i])
+		}
+		for j := 0; j < c.k; j++ {
+			if _, ok := have[j]; ok {
+				continue
+			}
+			mrows = append(mrows, rows[j])
+			mouts = append(mouts, out[j])
+		}
+		c.mulRows(mrows, in, mouts)
+	}
+	ds.in, ds.rows, ds.outs = in, mrows, mouts
+	return nil
 }
 
 // Reconstruct recovers every missing shard (data and parity). shards must

@@ -130,6 +130,47 @@ func (a *AONTRS) Combine(shares map[int][]byte, secretSize int) ([]byte, error) 
 	return secret, err
 }
 
+// CombineInto implements ArenaScheme: Combine with the reassembled
+// package staged in arena scratch and the secret drawn from the arena's
+// pool. A nil arena behaves like Combine.
+func (a *AONTRS) CombineInto(shares map[int][]byte, secretSize int, ar *Arena) ([]byte, error) {
+	secret, _, err := a.CombineWithKeyInto(shares, secretSize, ar)
+	return secret, err
+}
+
+// CombineWithKeyInto is CombineWithKey through an arena (nil behaves like
+// CombineWithKey): RS-reconstruct straight into contiguous scratch — the
+// data shards ARE the package, so no separate Join pass — then Rivest
+// unpack into a pool-drawn buffer, with the recovered key left in
+// ar.KeyOut (the returned key slice aliases it). Steady-state cost per
+// secret is the AES key schedule alone.
+func (a *AONTRS) CombineWithKeyInto(shares map[int][]byte, secretSize int, ar *Arena) ([]byte, []byte, error) {
+	if ar == nil {
+		return a.CombineWithKey(shares, secretSize)
+	}
+	want := a.ShareSize(secretSize)
+	if err := ValidateShareMap(shares, a.n, a.k, want); err != nil {
+		return nil, nil, err
+	}
+	pkgLen := aont.RivestPackageSize(secretSize)
+	buf := ar.Scratch(a.k * want)
+	outs := ar.ShardHeaders(a.k)
+	for i := range outs {
+		outs[i] = buf[i*want : (i+1)*want]
+	}
+	if err := a.codec.ReconstructDataInto(shares, outs); err != nil {
+		return nil, nil, err
+	}
+	// The padded data words, excluding the canary word and the key block.
+	dataLen := pkgLen - aont.WordSize - aont.HashSize
+	data := ar.ResultBuf(dataLen)
+	if err := aont.UnpackRivestInto(buf[:pkgLen], secretSize, data, &ar.KeyOut, &ar.AESScratch); err != nil {
+		ar.Recycle(data)
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return data[:secretSize], ar.KeyOut[:], nil
+}
+
 // CombineWithKey reconstructs the secret and also returns the recovered
 // package key (the convergent variant checks it against the content hash).
 func (a *AONTRS) CombineWithKey(shares map[int][]byte, secretSize int) ([]byte, []byte, error) {

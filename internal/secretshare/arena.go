@@ -7,22 +7,28 @@ import (
 )
 
 // Arena is the reusable per-worker scratch space the allocation-free
-// Split variants thread through the encode pipeline (chunk -> AONT ->
-// RS -> fingerprint). One encode worker owns one Arena; it is not safe
-// for concurrent use.
+// Split and Combine variants thread through the encode pipeline
+// (chunk -> AONT -> RS -> fingerprint) and its decode mirror
+// (RS reconstruct -> un-AONT -> integrity check). One worker owns one
+// Arena; it is not safe for concurrent use.
 //
 // An Arena separates two lifetimes:
 //
-//   - Scratch: temporaries (the AONT package, cipher blocks) that die
-//     when SplitInto returns. They are plain fields reused across
-//     secrets.
-//   - Share buffers: the n share slices SplitInto returns, which outlive
-//     the call (they travel to the per-cloud uploaders). They come from a
-//     sync.Pool, and the uploader recycles them once the share has been
-//     flushed, so steady state allocates nothing.
+//   - Scratch: temporaries (the AONT package, cipher blocks, the
+//     reassembled decode package) that die when SplitInto/CombineInto
+//     returns. They are plain fields reused across secrets.
+//   - Result buffers: the n share slices SplitInto returns, or the secret
+//     CombineInto returns, which outlive the call (shares travel to the
+//     per-cloud uploaders; secrets travel to the restore writer). They
+//     come from the SharePool, and the consumer recycles them once the
+//     bytes are flushed, so steady state allocates nothing.
 type Arena struct {
 	scratch []byte
 	shards  [][]byte
+	// headers is the reusable [][]byte CombineInto slices a scratch region
+	// through (decode shard views); distinct from shards so a decode never
+	// clobbers share headers still traveling to uploaders.
+	headers [][]byte
 	pool    *SharePool // nil means plain allocation
 	// AESScratch is the cipher scratch the aont package variants use.
 	AESScratch aont.Scratch
@@ -30,6 +36,9 @@ type Arena struct {
 	// the (heap-resident) arena matters: a stack array passed into
 	// aes.NewCipher escapes and would cost an allocation per secret.
 	HashKey [32]byte
+	// KeyOut receives the package key a decode recovers (CombineInto);
+	// arena-resident for the same escape reason as HashKey.
+	KeyOut [32]byte
 }
 
 // NewArena returns an Arena whose share buffers are plainly allocated
@@ -120,14 +129,46 @@ func (a *Arena) shareBuf(size int) []byte {
 	return make([]byte, size)
 }
 
-// ArenaScheme is implemented by schemes whose Split can run through a
-// caller-owned Arena, reusing scratch and share buffers across secrets.
+// ShardHeaders returns a reusable [][]byte of length n for slicing a
+// scratch region into shard views. The header array is arena-owned and
+// reused by the next ShardHeaders call; the entries are undefined until
+// the caller assigns them.
+func (a *Arena) ShardHeaders(n int) [][]byte {
+	if cap(a.headers) < n {
+		a.headers = make([][]byte, n)
+	}
+	return a.headers[:n]
+}
+
+// ResultBuf returns one size-byte buffer with undefined contents, drawn
+// from the pool when one is set — the buffer a decode returns its secret
+// in. The caller owns it until handing it back with Recycle (or directly
+// to the SharePool).
+func (a *Arena) ResultBuf(size int) []byte { return a.shareBuf(size) }
+
+// Recycle returns a ResultBuf/Shards buffer to the arena's pool; without
+// a pool it is a no-op (the GC takes it). Error paths inside CombineInto
+// use it so a failed decode never leaks the pool dry.
+func (a *Arena) Recycle(buf []byte) {
+	if a.pool != nil {
+		a.pool.Put(buf)
+	}
+}
+
+// ArenaScheme is implemented by schemes whose Split and Combine can run
+// through a caller-owned Arena, reusing scratch and result buffers
+// across secrets.
 type ArenaScheme interface {
 	Scheme
 	// SplitInto behaves like Split but draws every buffer from the arena.
 	// The returned shares alias pool-owned memory; the caller returns
 	// each one to the arena's SharePool with Put when done.
 	SplitInto(secret []byte, a *Arena) ([][]byte, error)
+	// CombineInto behaves like Combine but draws its scratch from the
+	// arena and the returned secret from the arena's SharePool; the
+	// caller recycles the secret buffer when the bytes have been
+	// consumed. A nil arena behaves like Combine.
+	CombineInto(shares map[int][]byte, secretSize int, a *Arena) ([]byte, error)
 }
 
 // SplitWithArena dispatches to SplitInto when the scheme supports arenas
@@ -137,4 +178,16 @@ func SplitWithArena(s Scheme, secret []byte, a *Arena) ([][]byte, error) {
 		return as.SplitInto(secret, a)
 	}
 	return s.Split(secret)
+}
+
+// CombineWithArena dispatches to CombineInto when the scheme supports
+// arenas (and one is supplied), falling back to plain Combine otherwise.
+// Callers recycle the returned buffer only when the arena path was taken;
+// handing a plain-Combine result to SharePool.Put is harmless, so callers
+// may recycle unconditionally.
+func CombineWithArena(s Scheme, shares map[int][]byte, secretSize int, a *Arena) ([]byte, error) {
+	if as, ok := s.(ArenaScheme); ok && a != nil {
+		return as.CombineInto(shares, secretSize, a)
+	}
+	return s.Combine(shares, secretSize)
 }

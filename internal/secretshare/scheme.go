@@ -64,6 +64,29 @@ func randBytes(size int) ([]byte, error) {
 	return b, nil
 }
 
+// ValidateShareMap is the allocation-free share-map check the
+// CombineInto decode paths use (here and in internal/core): index range,
+// at least k shares, and every provided share exactly wantSize bytes
+// (stricter than checkShares, which only sizes the k chosen shares — a
+// decode through pooled buffers must never meet a stray size). The codec
+// picks the k lowest indices itself.
+func ValidateShareMap(shares map[int][]byte, n, k, wantSize int) error {
+	count := 0
+	for i, s := range shares {
+		if i < 0 || i >= n {
+			return fmt.Errorf("%w: %d", ErrBadIndex, i)
+		}
+		if wantSize == 0 || len(s) != wantSize {
+			return fmt.Errorf("%w: share %d has %d bytes, want %d", ErrShareSize, i, len(s), wantSize)
+		}
+		count++
+	}
+	if count < k {
+		return ErrTooFewShares
+	}
+	return nil
+}
+
 // checkShares validates a share map and returns the sorted usable indices
 // (at most k of them) and the common share size.
 func checkShares(shares map[int][]byte, n, k int) ([]int, int, error) {
