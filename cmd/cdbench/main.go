@@ -8,7 +8,7 @@
 // where <experiment> is one of:
 //
 //	table1 table2 fig5a fig5b fig6 fig7a fig7b fig8 fig9a fig9b
-//	ablation sessions encode restore all
+//	ablation sessions encode restore chunkers scenarios all
 //
 // "sessions" goes beyond the paper: it measures aggregate multi-session
 // upload throughput against one server, comparing the sharded dedup
@@ -26,6 +26,18 @@
 // all-clouds and degraded (one cloud down, parity-bearing decode)
 // configurations.
 //
+// "chunkers" compares fixed-size, Rabin, and FastCDC chunking on the
+// same churned two-week backup pair: raw chunking speed and the dedup
+// survival across weeks.
+//
+// "scenarios" is the macro-benchmark matrix: four failure variants
+// (healthy, degraded, corrupted, failover) crossed with two workload
+// profiles (FSL, VM), each replaying multi-user multi-week
+// backup+restore+repair cycles through the real client/server stack
+// over shaped 4-cloud links. Every scenario appends one point to its
+// BENCH_<scenario>.json trajectory in the current directory, so the
+// repo-root files record how each PR moved the numbers.
+//
 // -quick shrinks data volumes for a fast smoke run; the default sizes
 // take a few minutes in total (the shaped WAN runs are real-time).
 package main
@@ -37,6 +49,7 @@ import (
 	"time"
 
 	"cdstore/internal/bench"
+	"cdstore/internal/scenario"
 	"cdstore/internal/workload"
 )
 
@@ -44,7 +57,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink data volumes for a fast run")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cdbench [-quick] <table1|table2|fig5a|fig5b|fig6|fig7a|fig7b|fig8|fig9a|fig9b|ablation|sessions|encode|restore|all>")
+		fmt.Fprintln(os.Stderr, "usage: cdbench [-quick] <table1|table2|fig5a|fig5b|fig6|fig7a|fig7b|fig8|fig9a|fig9b|ablation|sessions|encode|restore|chunkers|scenarios|all>")
 		os.Exit(2)
 	}
 	exp := flag.Arg(0)
@@ -81,13 +94,62 @@ func main() {
 	run("sessions", func() error { return sessions(scale(4000, 800)) })
 	run("encode", func() error { return encode(scale(128, 16)) })
 	run("restore", func() error { return restoreExp(scale(128, 16)) })
+	run("chunkers", func() error { return chunkers(scale(64, 8)) })
+	run("scenarios", func() error { return scenarios(*quick) })
 
 	switch exp {
-	case "table1", "table2", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "ablation", "sessions", "encode", "restore", "all":
+	case "table1", "table2", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "ablation", "sessions", "encode", "restore", "chunkers", "scenarios", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
 		os.Exit(2)
 	}
+}
+
+func chunkers(dataMB int) error {
+	fmt.Printf("Chunker comparison on a churned two-week pair (%dMB/week): raw\n", dataMB)
+	fmt.Println("chunking speed on week 1, and the fraction of week-2 bytes that dedup")
+	fmt.Println("against week 1 (a 64-byte insertion shifts all later content, so")
+	fmt.Println("fixed-size dedup collapses while content-defined chunkers resync).")
+	rows, err := bench.ChunkerComparison(dataMB)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-12s %-12s %-10s %-12s\n", "Chunker", "MB/s", "AvgChunk", "Chunks", "DedupSurvive")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-12.0f %-12s %-10d %.1f%%\n",
+			r.Chunker, r.MBps, fmt.Sprintf("%.1fKB", r.AvgChunkKB), r.Chunks, 100*r.DedupSurvive)
+	}
+	return nil
+}
+
+func scenarios(quick bool) error {
+	matrix := scenario.Matrix(quick)
+	fmt.Printf("Scenario matrix: %d cells (4 failure variants x 2 workload profiles),\n", len(matrix))
+	fmt.Println("each a multi-user multi-week backup+restore+repair cycle through the")
+	fmt.Println("real stack over shaped 4-cloud links. Points append to")
+	fmt.Println("BENCH_<scenario>.json in the current directory.")
+	fmt.Printf("%-15s %-9s %-9s %-9s %-8s %-8s %-8s %-7s %-7s %-9s %-9s\n",
+		"Scenario", "Logical", "Bkup", "Rstr", "Dedup", "Egress", "Repair", "Retry", "Fail", "$/TB/mo", "Premium$")
+	for _, cfg := range matrix {
+		p, path, err := scenario.RunAndAppend(cfg, ".")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-15s %-9s %-9s %-9s %-8s %-8s %-8s %-7d %-7d %-9.2f %-9.2f\n",
+			cfg.Name(),
+			fmt.Sprintf("%.0fMB", p.LogicalMB),
+			fmt.Sprintf("%.1fMB/s", p.BackupMBps),
+			fmt.Sprintf("%.1fMB/s", p.RestoreMBps),
+			fmt.Sprintf("%.2fx", p.DedupRatio),
+			fmt.Sprintf("%.1fMB", p.EgressMB),
+			fmt.Sprintf("%.1fMB", p.RepairEgressMB),
+			p.SubsetRetries, p.Failovers, p.USDPerTBMonth, p.DegradedPremiumUSD)
+		_ = path
+	}
+	if quick {
+		fmt.Println("(-quick: smoke sizing at 8x link speed; compare quick points to quick points)")
+	}
+	return nil
 }
 
 func encode(dataMB int) error {

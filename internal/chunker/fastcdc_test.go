@@ -1,0 +1,246 @@
+package chunker
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"io"
+	"testing"
+)
+
+// chunkFingerprints hashes every chunk for set-intersection comparisons.
+func chunkFingerprints(chunks []Chunk) map[[32]byte]bool {
+	m := make(map[[32]byte]bool)
+	for _, c := range chunks {
+		m[sha256.Sum256(c.Data)] = true
+	}
+	return m
+}
+
+// commonFraction returns |a ∩ b| / |a|.
+func commonFraction(a, b map[[32]byte]bool) float64 {
+	common := 0
+	for h := range a {
+		if b[h] {
+			common++
+		}
+	}
+	return float64(common) / float64(len(a))
+}
+
+func TestFastCDCConcatenationEqualsInput(t *testing.T) {
+	data := randomData(21, 1<<20)
+	chunks, err := ChunkAll(NewFastCDC(bytes.NewReader(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joined []byte
+	var off int64
+	for _, c := range chunks {
+		if c.Offset != off {
+			t.Fatalf("chunk offset %d, want %d", c.Offset, off)
+		}
+		joined = append(joined, c.Data...)
+		off += int64(len(c.Data))
+	}
+	if !bytes.Equal(joined, data) {
+		t.Fatal("concatenated chunks differ from input")
+	}
+}
+
+func TestFastCDCSizeBounds(t *testing.T) {
+	data := randomData(22, 1<<21)
+	chunks, err := ChunkAll(NewFastCDC(bytes.NewReader(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range chunks {
+		if i < len(chunks)-1 && len(c.Data) < DefaultMinSize {
+			t.Fatalf("chunk %d is %d bytes, below min %d", i, len(c.Data), DefaultMinSize)
+		}
+		if len(c.Data) > DefaultMaxSize {
+			t.Fatalf("chunk %d is %d bytes, above max %d", i, len(c.Data), DefaultMaxSize)
+		}
+	}
+}
+
+func TestFastCDCAverageNearTarget(t *testing.T) {
+	data := randomData(23, 8<<20)
+	chunks, err := ChunkAll(NewFastCDC(bytes.NewReader(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := float64(len(data)) / float64(len(chunks))
+	// Normalized chunking concentrates sizes around the 8KB target more
+	// tightly than Rabin's geometric tail; the same generous acceptance
+	// band keeps the test robust.
+	if avg < 4*1024 || avg > 14*1024 {
+		t.Fatalf("average chunk size %.0f outside [4KB, 14KB]", avg)
+	}
+}
+
+// TestFastCDCNormalizationTightensSpread is the property normalized
+// chunking buys over Rabin: fewer tiny chunks and fewer forced max-size
+// cuts. The fraction of chunks at exactly max must stay small on random
+// data.
+func TestFastCDCNormalizationTightensSpread(t *testing.T) {
+	data := randomData(24, 8<<20)
+	chunks, err := ChunkAll(NewFastCDC(bytes.NewReader(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced := 0
+	for _, c := range chunks {
+		if len(c.Data) == DefaultMaxSize {
+			forced++
+		}
+	}
+	if frac := float64(forced) / float64(len(chunks)); frac > 0.20 {
+		t.Fatalf("%.0f%% of chunks were forced max-size cuts; normalization should keep this rare", frac*100)
+	}
+}
+
+// TestFastCDCRechunkStability: chunking the same content twice yields
+// identical boundaries — the determinism dedup relies on (same-content
+// re-chunk stability).
+func TestFastCDCRechunkStability(t *testing.T) {
+	data := randomData(25, 1<<20)
+	a, err := ChunkAll(NewFastCDC(bytes.NewReader(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChunkAll(NewFastCDC(bytes.NewReader(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("chunk counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Offset != b[i].Offset || !bytes.Equal(a[i].Data, b[i].Data) {
+			t.Fatalf("chunk %d differs between runs", i)
+		}
+	}
+}
+
+// TestFastCDCShiftResistance: boundaries must resynchronize after a
+// prefix insertion, preserving most chunk fingerprints — the content-
+// defined property, differentially matched against Rabin below.
+func TestFastCDCShiftResistance(t *testing.T) {
+	data := randomData(26, 4<<20)
+	shifted := append(randomData(27, 100), data...)
+	a, _ := ChunkAll(NewFastCDC(bytes.NewReader(data)))
+	b, _ := ChunkAll(NewFastCDC(bytes.NewReader(shifted)))
+	if frac := commonFraction(chunkFingerprints(a), chunkFingerprints(b)); frac < 0.90 {
+		t.Fatalf("only %.0f%% of chunks survive a 100-byte prefix insertion; want >= 90%%", frac*100)
+	}
+}
+
+// TestFastCDCMatchesRabinDedupOnChurnedContent is the differential test
+// against Rabin: on the same churned backup pair (in-place overwrites
+// plus an offset-shifting insertion), both content-defined chunkers must
+// preserve a comparable fraction of chunk fingerprints. FastCDC is the
+// faster algorithm; this pins that it is not buying speed with dedup
+// loss.
+func TestFastCDCMatchesRabinDedupOnChurnedContent(t *testing.T) {
+	week1 := randomData(28, 4<<20)
+	week2 := append([]byte{}, week1...)
+	// ~2% churn: overwrite 8KB spans at deterministic offsets.
+	for i := 0; i < 10; i++ {
+		off := (i*411024 + 9000) % (len(week2) - 8192)
+		copy(week2[off:], randomData(int64(300+i), 8192))
+	}
+	// And one insertion near the front so every later byte shifts.
+	week2 = append(append(append([]byte{}, week2[:4096]...), randomData(29, 64)...), week2[4096:]...)
+
+	survival := func(newChunker func(io.Reader) Chunker) float64 {
+		a, err := ChunkAll(newChunker(bytes.NewReader(week1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ChunkAll(newChunker(bytes.NewReader(week2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return commonFraction(chunkFingerprints(a), chunkFingerprints(b))
+	}
+	rabin := survival(func(r io.Reader) Chunker { return NewRabin(r) })
+	fast := survival(func(r io.Reader) Chunker { return NewFastCDC(r) })
+	if rabin < 0.80 {
+		t.Fatalf("rabin baseline survival %.2f unexpectedly low", rabin)
+	}
+	if fast < rabin-0.10 {
+		t.Fatalf("fastcdc survival %.2f more than 10pp below rabin's %.2f", fast, rabin)
+	}
+}
+
+func TestFastCDCSmallAndBoundaryInputs(t *testing.T) {
+	sizes := []int{
+		0, 1, 63, 64, 100,
+		DefaultMinSize - 1, DefaultMinSize, DefaultMinSize + 1,
+		DefaultAvgSize, DefaultMaxSize - 1, DefaultMaxSize, DefaultMaxSize + 1,
+		2 * DefaultMaxSize,
+	}
+	for _, size := range sizes {
+		data := randomData(int64(size+1000), size)
+		chunks, err := ChunkAll(NewFastCDC(bytes.NewReader(data)))
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		total := 0
+		for i, c := range chunks {
+			total += len(c.Data)
+			if len(c.Data) > DefaultMaxSize {
+				t.Fatalf("size %d: chunk %d exceeds max", size, i)
+			}
+		}
+		if total != size {
+			t.Fatalf("size %d: chunks cover %d bytes", size, total)
+		}
+		if size == 0 && len(chunks) != 0 {
+			t.Fatalf("empty input produced %d chunks", len(chunks))
+		}
+		if size > 0 && size <= DefaultMinSize && len(chunks) != 1 {
+			t.Fatalf("size %d: want a single chunk, got %d", size, len(chunks))
+		}
+	}
+}
+
+func TestNewFastCDCSizesValidation(t *testing.T) {
+	r := bytes.NewReader(nil)
+	if _, err := NewFastCDCSizes(r, 2048, 8000, 16384); err == nil {
+		t.Fatal("non-power-of-two avg should fail")
+	}
+	if _, err := NewFastCDCSizes(r, 32, 8192, 16384); err == nil {
+		t.Fatal("min < 64 should fail")
+	}
+	if _, err := NewFastCDCSizes(r, 8192, 4096, 16384); err == nil {
+		t.Fatal("min > avg should fail")
+	}
+	if _, err := NewFastCDCSizes(r, 2048, 8192, 4096); err == nil {
+		t.Fatal("avg > max should fail")
+	}
+	if _, err := NewFastCDCSizes(r, 2048, 8192, 16384); err != nil {
+		t.Fatal("valid sizes rejected")
+	}
+}
+
+func TestFastCDCPropagatesReadErrors(t *testing.T) {
+	c := NewFastCDC(&errReader{after: 100})
+	if _, err := c.Next(); err != nil {
+		t.Fatalf("first Next: %v", err)
+	}
+	if _, err := c.Next(); err != io.ErrClosedPipe {
+		t.Fatalf("want ErrClosedPipe, got %v", err)
+	}
+}
+
+func BenchmarkFastCDCChunking(b *testing.B) {
+	data := randomData(30, 4<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ChunkAll(NewFastCDC(bytes.NewReader(data))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

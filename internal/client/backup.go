@@ -85,10 +85,10 @@ type ChunkSource interface {
 	NextChunk() ([]byte, error)
 }
 
-// rabinSource adapts the content-defined chunker to ChunkSource.
-type rabinSource struct{ ck chunker.Chunker }
+// chunkerSource adapts any chunker.Chunker to ChunkSource.
+type chunkerSource struct{ ck chunker.Chunker }
 
-func (r rabinSource) NextChunk() ([]byte, error) {
+func (r chunkerSource) NextChunk() ([]byte, error) {
 	c, err := r.ck.Next()
 	if err != nil {
 		return nil, err
@@ -96,23 +96,27 @@ func (r rabinSource) NextChunk() ([]byte, error) {
 	return c.Data, nil
 }
 
-// Backup chunks r — with variable-size Rabin chunking by default (§4.2),
-// or fixed-size chunking when Options.FixedChunkSize is set — encodes
-// every secret with the convergent scheme, runs two-stage deduplication's
-// client half (intra-user dedup queries), and uploads unique shares plus
-// per-cloud recipes. path names the backup for later Restore calls.
-// Backup requires every cloud connection to be up: share i must land on
-// cloud i for deduplication to work (§3.2), so a missing cloud cannot
-// simply be skipped.
+// Backup chunks r — with variable-size content-defined chunking by
+// default (§4.2's Rabin, or FastCDC via Options.Chunking), or fixed-size
+// chunking when Options.FixedChunkSize is set — encodes every secret
+// with the convergent scheme, runs two-stage deduplication's client half
+// (intra-user dedup queries), and uploads unique shares plus per-cloud
+// recipes. path names the backup for later Restore calls. Backup
+// requires every cloud connection to be up: share i must land on cloud i
+// for deduplication to work (§3.2), so a missing cloud cannot simply be
+// skipped.
 func (c *Client) Backup(path string, r io.Reader) (*BackupStats, error) {
 	if c.opts.FixedChunkSize > 0 {
 		fc, err := chunker.NewFixed(r, c.opts.FixedChunkSize)
 		if err != nil {
 			return nil, err
 		}
-		return c.BackupStream(path, rabinSource{ck: fc})
+		return c.BackupStream(path, chunkerSource{ck: fc})
 	}
-	return c.BackupStream(path, rabinSource{ck: chunker.NewRabin(r)})
+	if c.opts.Chunking == "fastcdc" {
+		return c.BackupStream(path, chunkerSource{ck: chunker.NewFastCDC(r)})
+	}
+	return c.BackupStream(path, chunkerSource{ck: chunker.NewRabin(r)})
 }
 
 // BackupStream is Backup with caller-controlled chunking.

@@ -426,6 +426,41 @@ func TestDiskBackedCluster(t *testing.T) {
 	}
 }
 
+func TestFastCDCChunkingBackup(t *testing.T) {
+	// Options.Chunking selects the Gear-hash chunker; the backup must
+	// round-trip and produce content-defined (not fixed-size) secrets.
+	cl := newTestCluster(t)
+	c, err := client.Connect(client.Options{
+		UserID: 1, N: cl.N, K: cl.K, EncodeThreads: 2, Chunking: "fastcdc",
+	}, cl.Dialers(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	data := randomBytes(73, 200*1024)
+	stats, err := c.Backup("/cdc.tar", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200KB at the 2K/8K/16K defaults lands well inside (200K/16K, 200K/2K).
+	if stats.Secrets < 200*1024/16384 || stats.Secrets > 200*1024/2048 {
+		t.Fatalf("secrets = %d, implausible for fastcdc on 200KB", stats.Secrets)
+	}
+	var out bytes.Buffer
+	if _, err := c.Restore("/cdc.tar", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("fastcdc restore mismatch")
+	}
+
+	if _, err := client.Connect(client.Options{
+		UserID: 1, N: cl.N, K: cl.K, Chunking: "tarsnap",
+	}, cl.Dialers(nil)); err == nil {
+		t.Fatal("unknown chunking name accepted, want error")
+	}
+}
+
 func TestFixedChunkingBackup(t *testing.T) {
 	// §4.2: both chunkers are implemented; the VM dataset uses 4KB fixed.
 	cl := newTestCluster(t)

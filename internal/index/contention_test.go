@@ -1,0 +1,151 @@
+package index
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cdstore/internal/metadata"
+)
+
+// TestOptimisticContestedRetry exercises the server's pass-4 pattern at
+// the index layer: many goroutines classify the same new fingerprints
+// with the NON-blocking TryReserveShare, defer the pending ones, and
+// resolve them by optimistic rescan — falling back to WaitShare only
+// when a rescan makes no progress. Exactly one caller may win each
+// fingerprint, every caller must end up an owner, and nobody may spin
+// forever. Run under -race this is the contended-reservation proof for
+// the optimistic path (the blocking ReserveShare is covered separately
+// by TestConcurrentReserveSingleWinner).
+func TestOptimisticContestedRetry(t *testing.T) {
+	ix := openTestIndex(t)
+	const (
+		goroutines = 16
+		fpCount    = 96
+	)
+	fps := make([]metadata.Fingerprint, fpCount)
+	for i := range fps {
+		fps[i] = fp(fmt.Sprintf("contested-%d", i))
+	}
+	winners := make([]atomic.Int32, fpCount)
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(userID uint64) {
+			defer wg.Done()
+			// Walk a per-goroutine permutation (stride coprime with
+			// fpCount) so reservation wins split across callers and the
+			// contested sets overlap differently.
+			strides := []int{1, 5, 7, 11, 13, 17, 19, 23, 25, 29, 31, 35, 37, 41, 43, 47}
+			stride := strides[int(userID)%len(strides)]
+			order := make([]int, fpCount)
+			for i := range order {
+				order[i] = (i*stride + int(userID)) % fpCount
+			}
+			contested := order
+			for round := 0; len(contested) > 0; round++ {
+				if round > 10*fpCount {
+					errCh <- fmt.Errorf("user %d: no convergence after %d rounds", userID, round)
+					return
+				}
+				var wins, still []int
+				for _, i := range contested {
+					st, err := ix.TryReserveShare(fps[i], userID, 64)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					switch st {
+					case StatusReserved:
+						wins = append(wins, i)
+					case StatusPending:
+						still = append(still, i)
+					}
+				}
+				// Commit wins outside the classification scan, like the
+				// server does after its container append; the sleep widens
+				// the window in which other sessions see us pending.
+				if len(wins) > 0 {
+					time.Sleep(time.Millisecond)
+					for _, i := range wins {
+						winners[i].Add(1)
+						if err := ix.CommitShare(fps[i], fmt.Sprintf("c-u%d", userID)); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				} else if len(still) > 0 {
+					// Deadlock rule: we hold nothing here, so waiting is safe.
+					ix.WaitShare(fps[still[0]])
+				}
+				contested = still
+			}
+			errCh <- nil
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range winners {
+		if n := winners[i].Load(); n != 1 {
+			t.Fatalf("fingerprint %d had %d reservation winners, want exactly 1", i, n)
+		}
+	}
+	for _, f := range fps {
+		e, err := ix.LookupShare(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(e.Refs) != goroutines {
+			t.Fatalf("share %s has %d owners, want %d", f, len(e.Refs), goroutines)
+		}
+	}
+}
+
+// TestWaitShareAfterAbortHandsOff: a waiter woken by an abort must be
+// able to win the next TryReserveShare itself — the optimistic loop's
+// guarantee that an aborted upload's bytes are stored by whoever still
+// holds them.
+func TestWaitShareAfterAbortHandsOff(t *testing.T) {
+	ix := openTestIndex(t)
+	f := fp("abort-handoff")
+	st, err := ix.TryReserveShare(f, 1, 10)
+	if err != nil || st != StatusReserved {
+		t.Fatalf("first try: %v %v", st, err)
+	}
+	woke := make(chan ReserveStatus, 1)
+	go func() {
+		ix.WaitShare(f)
+		st2, err := ix.TryReserveShare(f, 2, 10)
+		if err != nil {
+			t.Error(err)
+		}
+		woke <- st2
+	}()
+	select {
+	case st2 := <-woke:
+		t.Fatalf("waiter classified (%v) before the abort", st2)
+	case <-time.After(50 * time.Millisecond):
+	}
+	ix.AbortShare(f)
+	if st2 := <-woke; st2 != StatusReserved {
+		t.Fatalf("woken waiter got %v, want StatusReserved", st2)
+	}
+	if err := ix.CommitShare(f, "c-handoff"); err != nil {
+		t.Fatal(err)
+	}
+	e, err := ix.LookupShare(f)
+	if err != nil || len(e.Refs) != 1 {
+		t.Fatalf("after handoff: %+v %v", e, err)
+	}
+	if _, owned := e.Refs[2]; !owned {
+		t.Fatal("winning waiter not recorded as owner")
+	}
+}

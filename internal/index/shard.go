@@ -26,12 +26,14 @@ import (
 // the invariant the old single global mutex enforced, without any
 // session holding an index lock across backend writes.
 //
-// DEADLOCK RULE: a caller must not wait (ReserveShare) while holding
-// uncommitted reservations of its own — two batches holding
+// DEADLOCK RULE: a caller must not wait (ReserveShare, WaitShare) while
+// holding uncommitted reservations of its own — two batches holding
 // reservations and waiting on each other's would deadlock. The server
 // therefore classifies whole batches with the non-blocking
 // TryReserveShare, commits its wins, and only then resolves contested
-// fingerprints with the blocking ReserveShare, holding nothing.
+// fingerprints — optimistically re-running TryReserveShare (the racing
+// reservation has usually resolved by then), falling back to WaitShare
+// only when a full rescan makes no progress, holding nothing either way.
 
 // ReserveStatus is TryReserveShare's classification of one upload.
 type ReserveStatus int
@@ -99,13 +101,19 @@ func (ix *Index) ReserveShare(fp metadata.Fingerprint, userID uint64, size uint3
 		case StatusDuplicate:
 			return false, nil
 		case StatusPending:
-			ix.waitShare(fp)
+			ix.WaitShare(fp)
 		}
 	}
 }
 
-// waitShare blocks until fp has no in-flight reservation.
-func (ix *Index) waitShare(fp metadata.Fingerprint) {
+// WaitShare blocks until fp has no in-flight reservation. It makes no
+// classification of its own — after it returns the caller re-runs
+// TryReserveShare (the fingerprint may have been committed, aborted, or
+// even re-reserved by a third session in the meantime). Callers batching
+// optimistically (the server's contested pass) only fall back to this
+// after a full non-blocking rescan makes no progress, and — per the
+// deadlock rule above — never while holding reservations of their own.
+func (ix *Index) WaitShare(fp metadata.Fingerprint) {
 	sh := ix.shards[shardOf(fp)]
 	sh.mu.Lock()
 	pe, ok := sh.pending[fp]

@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SchemaVersion is bumped on any incompatible change to the BENCH file
+// layout. Append refuses to extend a file written under a different
+// version — that is the schema-drift tripwire the CI smoke job relies
+// on: a PR that changes the schema must either migrate the trajectory
+// files in the same commit or consciously reset them.
+const SchemaVersion = 1
+
+// File is one BENCH_<scenario>.json at the repo root: the performance
+// trajectory of one scenario across PRs. Every run of that scenario
+// appends one Point, so the series reads as "how did this PR move the
+// numbers".
+type File struct {
+	SchemaVersion int     `json:"schema_version"`
+	Scenario      string  `json:"scenario"`
+	Points        []Point `json:"points"`
+}
+
+// Point is one measured run of a scenario.
+type Point struct {
+	// RecordedAt is the RFC3339 run timestamp.
+	RecordedAt string `json:"recorded_at"`
+	// Quick marks smoke-sized runs; compare quick points against quick
+	// points only.
+	Quick bool `json:"quick"`
+	// SpeedScale multiplies the Table-2 link speeds (quick runs shape
+	// the same topology at 8x so CI stays fast); recorded so throughput
+	// points are comparable.
+	SpeedScale float64 `json:"speed_scale"`
+	// Workload sizing.
+	Users int `json:"users"`
+	Weeks int `json:"weeks"`
+	// LogicalMB is the total pre-dedup data backed up across all users
+	// and weeks.
+	LogicalMB float64 `json:"logical_mb"`
+	// BackupMBps and RestoreMBps are end-to-end throughputs over the
+	// shaped links (logical bytes / wall clock).
+	BackupMBps  float64 `json:"backup_mbps"`
+	RestoreMBps float64 `json:"restore_mbps"`
+	// DedupRatio is logical share bytes / stored share bytes (§5.4),
+	// measured at the servers.
+	DedupRatio float64 `json:"dedup_ratio"`
+	// EgressMB is the distinct-download restore egress (share bytes
+	// actually transferred out of the clouds, duplicates served from the
+	// client cache excluded); RepairEgressMB is the extra download
+	// volume repairs pulled to rebuild a lost cloud.
+	EgressMB       float64 `json:"egress_mb"`
+	RepairEgressMB float64 `json:"repair_egress_mb"`
+	// SubsetRetries and Failovers count the §3.2 brute-force retries and
+	// mid-restore spare promotions the variant provoked.
+	SubsetRetries int64 `json:"subset_retries"`
+	Failovers     int64 `json:"failovers"`
+	// AllocsPerSecret is heap allocations per restored secret across the
+	// restore phase (whole-process, so an approximation — but drift
+	// still shows up as a step in the series).
+	AllocsPerSecret float64 `json:"allocs_per_secret"`
+	// USDPerTBMonth is the cost.AnalyzeMeasured figure at the canonical
+	// 1TB/week deployment with this run's measured dedup ratio and
+	// egress overheads; DegradedPremiumUSD is the egress bill beyond the
+	// clean once-per-byte floor.
+	USDPerTBMonth      float64 `json:"usd_per_tb_month"`
+	DegradedPremiumUSD float64 `json:"degraded_premium_usd"`
+}
+
+// BenchFileName returns the repo-root file name for a scenario.
+func BenchFileName(scenario string) string {
+	return "BENCH_" + scenario + ".json"
+}
+
+// LoadBenchFile reads a trajectory file. A missing file returns (nil,
+// nil): the scenario has no history yet.
+func LoadBenchFile(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("scenario: parsing %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// AppendPoint loads the scenario's trajectory file in dir (creating it
+// on first run), verifies the schema version, appends p, and writes the
+// file back atomically (tmp + rename, so a crashed run never truncates
+// the trajectory).
+func AppendPoint(dir, scenario string, p Point) (string, error) {
+	path := filepath.Join(dir, BenchFileName(scenario))
+	f, err := LoadBenchFile(path)
+	if err != nil {
+		return "", err
+	}
+	if f == nil {
+		f = &File{SchemaVersion: SchemaVersion, Scenario: scenario}
+	}
+	if f.SchemaVersion != SchemaVersion {
+		return "", fmt.Errorf("scenario: %s has schema version %d, this build writes %d — migrate or reset the trajectory",
+			path, f.SchemaVersion, SchemaVersion)
+	}
+	if f.Scenario != scenario {
+		return "", fmt.Errorf("scenario: %s names scenario %q, not %q", path, f.Scenario, scenario)
+	}
+	f.Points = append(f.Points, p)
+	return path, writeAtomic(path, f)
+}
+
+func writeAtomic(path string, f *File) error {
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Validate checks a trajectory file's internal consistency: schema
+// version, scenario naming, and per-point sanity including the
+// variant-specific assertions (a corrupted-variant run without subset
+// retries, or a failover run without failovers, means the scenario did
+// not actually exercise its failure path).
+func (f *File) Validate() error {
+	if f.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("schema version %d, want %d", f.SchemaVersion, SchemaVersion)
+	}
+	variant, _, ok := strings.Cut(f.Scenario, "_")
+	if !ok {
+		return fmt.Errorf("scenario %q is not <variant>_<profile>", f.Scenario)
+	}
+	if len(f.Points) == 0 {
+		return fmt.Errorf("no points")
+	}
+	for i, p := range f.Points {
+		if p.RecordedAt == "" {
+			return fmt.Errorf("point %d: no timestamp", i)
+		}
+		if p.LogicalMB <= 0 || p.BackupMBps <= 0 || p.RestoreMBps <= 0 {
+			return fmt.Errorf("point %d: non-positive volume or throughput (%v MB, %v / %v MB/s)",
+				i, p.LogicalMB, p.BackupMBps, p.RestoreMBps)
+		}
+		if p.DedupRatio < 1 {
+			return fmt.Errorf("point %d: dedup ratio %v below 1", i, p.DedupRatio)
+		}
+		if p.EgressMB <= 0 {
+			return fmt.Errorf("point %d: no restore egress recorded", i)
+		}
+		if p.USDPerTBMonth <= 0 {
+			return fmt.Errorf("point %d: no cost figure", i)
+		}
+		switch variant {
+		case "healthy":
+			if p.SubsetRetries != 0 || p.Failovers != 0 {
+				return fmt.Errorf("point %d: healthy run saw retries=%d failovers=%d", i, p.SubsetRetries, p.Failovers)
+			}
+		case "degraded":
+			if p.RepairEgressMB <= 0 {
+				return fmt.Errorf("point %d: degraded run recorded no repair egress", i)
+			}
+		case "corrupted":
+			if p.SubsetRetries == 0 {
+				return fmt.Errorf("point %d: corrupted run provoked no subset retries", i)
+			}
+		case "failover":
+			if p.Failovers == 0 {
+				return fmt.Errorf("point %d: failover run promoted no spare", i)
+			}
+		default:
+			return fmt.Errorf("unknown variant %q", variant)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,505 @@
+// Package scenario is the macro-benchmark harness: it replays
+// multi-user, multi-week backup+restore+repair cycles from the
+// internal/workload generators (FSL- and VM-style dedup/churn profiles)
+// over netsim-shaped 4-cloud topologies, through the real client/server
+// stack — TCP, sharded dedup index, streaming restore engine — and
+// records end-to-end throughput, distinct-download egress, dedup ratio,
+// allocation counts, and a measured-volume cost figure. Each scenario
+// appends one Point to its BENCH_<scenario>.json trajectory at the repo
+// root, so the numbers a PR moves are visible in its diff.
+//
+// The matrix crosses two workload profiles with four failure variants:
+//
+//   - healthy: every backup and restore completes with all clouds up.
+//   - degraded: cloud 0 fails after the backups; restores run on the
+//     remaining k clouds, then the cloud is replaced empty and repaired
+//     (§3.1's rebuild), measuring the repair's read amplification.
+//   - corrupted: cloud 0 silently tampers with every stored share
+//     (containers stay structurally valid); restores must detect it via
+//     the embedded integrity check and recover through §3.2's
+//     brute-force k-subset retry, paying extra egress.
+//   - failover: cloud 0's server dies mid-restore; the engine must
+//     promote the spare cloud and finish, and later users restore
+//     degraded.
+package scenario
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"hash"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cdstore/internal/client"
+	"cdstore/internal/cloud"
+	"cdstore/internal/container"
+	"cdstore/internal/cost"
+	"cdstore/internal/netsim"
+	"cdstore/internal/workload"
+	"strings"
+)
+
+// Variant is one failure mode of the matrix.
+type Variant string
+
+// Profile is one workload generator.
+type Profile string
+
+const (
+	Healthy   Variant = "healthy"
+	Degraded  Variant = "degraded"
+	Corrupted Variant = "corrupted"
+	Failover  Variant = "failover"
+
+	FSL Profile = "fsl"
+	VM  Profile = "vm"
+)
+
+// Config sizes one scenario run.
+type Config struct {
+	Variant Variant
+	Profile Profile
+	// Quick marks smoke sizing (recorded in the Point).
+	Quick bool
+	// SpeedScale multiplies the Table-2 link speeds so smoke runs finish
+	// in CI time while still exercising the shaped WAN path.
+	SpeedScale float64
+	// Users, Weeks, Chunks size the workload (Chunks is per user).
+	Users, Weeks, Chunks int
+	// RestoreFracPerMonth feeds the cost model: the fraction of retained
+	// data restored monthly (default 0.05).
+	RestoreFracPerMonth float64
+	Seed                int64
+}
+
+// Name returns the scenario's trajectory key, <variant>_<profile>.
+func (c Config) Name() string { return string(c.Variant) + "_" + string(c.Profile) }
+
+// Matrix returns the full scenario matrix at quick or full sizing.
+func Matrix(quick bool) []Config {
+	var out []Config
+	for _, v := range []Variant{Healthy, Degraded, Corrupted, Failover} {
+		for _, p := range []Profile{FSL, VM} {
+			c := Config{Variant: v, Profile: p, Quick: quick, Seed: 7}
+			if quick {
+				c.SpeedScale = 8
+				c.Users, c.Weeks = 3, 2
+				if p == FSL {
+					c.Chunks = 120
+				} else {
+					c.Chunks = 150
+				}
+			} else {
+				c.SpeedScale = 1
+				if p == FSL {
+					c.Users, c.Weeks, c.Chunks = 6, 4, 1500
+				} else {
+					c.Users, c.Weeks, c.Chunks = 12, 4, 1200
+				}
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// scaledProfiles returns the Table-2 cloud links with every speed
+// multiplied by scale (latency unchanged: quick runs compress bandwidth
+// time, not protocol round trips).
+func scaledProfiles(scale float64) []netsim.LinkProfile {
+	ps := netsim.CloudProfiles()
+	for i := range ps {
+		ps[i].UploadBps *= scale
+		ps[i].DownloadBps *= scale
+	}
+	return ps
+}
+
+// Run executes one scenario and returns its measured Point.
+func Run(cfg Config) (Point, error) {
+	p := Point{
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+		Quick:      cfg.Quick,
+		SpeedScale: cfg.SpeedScale,
+		Users:      cfg.Users,
+		Weeks:      cfg.Weeks,
+	}
+	if cfg.SpeedScale <= 0 {
+		cfg.SpeedScale = 1
+		p.SpeedScale = 1
+	}
+	if cfg.RestoreFracPerMonth <= 0 {
+		cfg.RestoreFracPerMonth = 0.05
+	}
+
+	var weeks [][]workload.Backup
+	switch cfg.Profile {
+	case FSL:
+		weeks = workload.GenerateFSL(workload.FSLConfig{
+			Users: cfg.Users, Weeks: cfg.Weeks, ChunksPerUser: cfg.Chunks, Seed: cfg.Seed,
+		})
+	case VM:
+		weeks = workload.GenerateVM(workload.VMConfig{
+			Users: cfg.Users, Weeks: cfg.Weeks, ChunksPerImage: cfg.Chunks, Seed: cfg.Seed,
+		})
+	default:
+		return p, fmt.Errorf("scenario: unknown profile %q", cfg.Profile)
+	}
+
+	cl, err := cloud.NewCluster(cloud.Config{
+		N: 4, K: 3,
+		Profiles:          scaledProfiles(cfg.SpeedScale),
+		ContainerCapacity: 1 << 20,
+	})
+	if err != nil {
+		return p, err
+	}
+	defer cl.Close()
+
+	// ---- backup phase: every user of every week, users concurrent ----
+	var logical, logicalShares, transferred atomic.Int64
+	backupStart := time.Now()
+	for w := range weeks {
+		var wg sync.WaitGroup
+		errCh := make(chan error, len(weeks[w]))
+		for _, b := range weeks[w] {
+			wg.Add(1)
+			go func(b workload.Backup) {
+				defer wg.Done()
+				c, err := cl.Connect(uint64(b.User+1), 2, nil)
+				if err != nil {
+					errCh <- fmt.Errorf("week %d user %d connect: %w", b.Week, b.User, err)
+					return
+				}
+				defer c.Close()
+				bs, err := c.BackupStream(backupPath(b.User, b.Week), workload.NewChunkIter(b))
+				if err != nil {
+					errCh <- fmt.Errorf("week %d user %d backup: %w", b.Week, b.User, err)
+					return
+				}
+				logical.Add(bs.LogicalBytes)
+				logicalShares.Add(bs.LogicalShareBytes)
+				transferred.Add(bs.TransferredShareBytes)
+				errCh <- nil
+			}(b)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			if err != nil {
+				return p, err
+			}
+		}
+	}
+	backupElapsed := time.Since(backupStart)
+	for _, c := range cl.Clouds {
+		if err := c.Server.Flush(); err != nil {
+			return p, err
+		}
+	}
+	var stored int64
+	for _, c := range cl.Clouds {
+		stored += int64(c.Server.Stats().BytesStored)
+	}
+
+	// ---- variant-specific failure injection + restore phase ----
+	latest := weeks[len(weeks)-1]
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	restoreStart := time.Now()
+	rr, err := runVariant(cfg, cl, latest)
+	if err != nil {
+		return p, err
+	}
+	restoreElapsed := time.Since(restoreStart)
+	runtime.ReadMemStats(&ms1)
+
+	const mb = 1 << 20
+	p.LogicalMB = float64(logical.Load()) / mb
+	p.BackupMBps = float64(logical.Load()) / mb / backupElapsed.Seconds()
+	p.RestoreMBps = float64(rr.restoredBytes) / mb / restoreElapsed.Seconds()
+	if stored > 0 {
+		p.DedupRatio = float64(logicalShares.Load()) / float64(stored)
+	}
+	p.EgressMB = float64(rr.downloadedBytes) / mb
+	p.RepairEgressMB = float64(rr.repairEgressBytes) / mb
+	p.SubsetRetries = rr.subsetRetries
+	p.Failovers = rr.failovers
+	if rr.secrets > 0 {
+		p.AllocsPerSecret = float64(ms1.Mallocs-ms0.Mallocs) / float64(rr.secrets)
+	}
+
+	// ---- feed the measured volumes into the cost model ----
+	m := cost.Measured{
+		LogicalBytes:          logical.Load(),
+		LogicalShareBytes:     logicalShares.Load(),
+		TransferredShareBytes: transferred.Load(),
+		StoredShareBytes:      stored,
+		RestoredBytes:         rr.restoredBytes,
+		RestoreEgressBytes:    rr.downloadedBytes,
+		RepairEgressBytes:     rr.repairEgressBytes,
+	}
+	mr, err := cost.AnalyzeMeasured(m, 1.0, cfg.RestoreFracPerMonth, cost.Params{})
+	if err != nil {
+		return p, err
+	}
+	p.USDPerTBMonth = mr.USDPerTBMonth
+	p.DegradedPremiumUSD = mr.DegradedPremiumUSD
+	return p, nil
+}
+
+// RunAndAppend runs one scenario and appends its point to the
+// trajectory file in dir, returning the point and the file path.
+func RunAndAppend(cfg Config, dir string) (Point, string, error) {
+	p, err := Run(cfg)
+	if err != nil {
+		return p, "", fmt.Errorf("scenario %s: %w", cfg.Name(), err)
+	}
+	path, err := AppendPoint(dir, cfg.Name(), p)
+	if err != nil {
+		return p, "", err
+	}
+	f, err := LoadBenchFile(path)
+	if err != nil {
+		return p, path, err
+	}
+	if err := f.Validate(); err != nil {
+		return p, path, fmt.Errorf("scenario %s: invalid trajectory after append: %w", cfg.Name(), err)
+	}
+	return p, path, nil
+}
+
+// restoreResult accumulates the read side of one variant run.
+type restoreResult struct {
+	restoredBytes     int64
+	downloadedBytes   int64
+	repairEgressBytes int64
+	subsetRetries     int64
+	failovers         int64
+	secrets           int64
+}
+
+func backupPath(user, week int) string { return fmt.Sprintf("/u%d/wk%d", user, week) }
+
+// digestOf hashes a backup's materialized content for verification.
+func digestOf(b workload.Backup) [32]byte {
+	h := sha256.New()
+	io.Copy(h, workload.NewReader(b))
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// hashWriter hashes the restored stream (optionally tripping a
+// mid-restore fault first).
+type hashWriter struct {
+	h    hash.Hash
+	trip func()
+}
+
+func (w *hashWriter) Write(pb []byte) (int, error) {
+	if w.trip != nil {
+		t := w.trip
+		w.trip = nil
+		t()
+	}
+	return w.h.Write(pb)
+}
+
+// restoreVerified restores one user's latest backup and checks the
+// bytes against the workload's materialized content. trip, if non-nil,
+// fires on the first restored write (the failover variant's kill).
+func restoreVerified(cl *cloud.Cluster, b workload.Backup, window int, trip func()) (*client.RestoreStats, error) {
+	opts := client.Options{UserID: uint64(b.User + 1), N: cl.N, K: cl.K, EncodeThreads: 2}
+	if window > 0 {
+		opts.RestoreWindow = window
+	}
+	c, err := client.Connect(opts, cl.Dialers(nil))
+	if err != nil {
+		return nil, fmt.Errorf("user %d restore connect: %w", b.User, err)
+	}
+	defer c.Close()
+	w := &hashWriter{h: sha256.New(), trip: trip}
+	rs, err := c.Restore(backupPath(b.User, b.Week), w)
+	if err != nil {
+		return nil, fmt.Errorf("user %d restore: %w", b.User, err)
+	}
+	var got [32]byte
+	copy(got[:], w.h.Sum(nil))
+	if got != digestOf(b) {
+		return nil, fmt.Errorf("user %d: restored bytes differ from backup content", b.User)
+	}
+	return rs, nil
+}
+
+// restoreAll restores every backup in latest concurrently, verifying
+// content, and accumulates stats into rr.
+func restoreAll(cl *cloud.Cluster, latest []workload.Backup, rr *restoreResult) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(latest))
+	var mu sync.Mutex
+	for _, b := range latest {
+		wg.Add(1)
+		go func(b workload.Backup) {
+			defer wg.Done()
+			rs, err := restoreVerified(cl, b, 0, nil)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			mu.Lock()
+			rr.add(rs)
+			mu.Unlock()
+			errCh <- nil
+		}(b)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (rr *restoreResult) add(rs *client.RestoreStats) {
+	rr.restoredBytes += rs.Bytes
+	rr.downloadedBytes += rs.DownloadedBytes
+	rr.subsetRetries += rs.SubsetRetries
+	rr.failovers += rs.Failovers
+	rr.secrets += rs.Secrets
+}
+
+func runVariant(cfg Config, cl *cloud.Cluster, latest []workload.Backup) (*restoreResult, error) {
+	rr := &restoreResult{}
+	switch cfg.Variant {
+	case Healthy:
+		if err := restoreAll(cl, latest, rr); err != nil {
+			return nil, err
+		}
+		if rr.subsetRetries != 0 || rr.failovers != 0 {
+			return nil, fmt.Errorf("healthy run saw retries=%d failovers=%d", rr.subsetRetries, rr.failovers)
+		}
+
+	case Degraded:
+		// Cloud 0 down: restores must run on the remaining k clouds.
+		cl.FailCloud(0)
+		if err := restoreAll(cl, latest, rr); err != nil {
+			return nil, err
+		}
+		// Provider exit: replace the cloud empty and rebuild its shares
+		// per backup. Repair reads k shares per share rebuilt — the read
+		// amplification the degraded egress premium bills.
+		if err := cl.ReplaceCloud(0); err != nil {
+			return nil, err
+		}
+		for _, b := range latest {
+			c, err := cl.Connect(uint64(b.User+1), 2, nil)
+			if err != nil {
+				return nil, fmt.Errorf("user %d repair connect: %w", b.User, err)
+			}
+			rs, err := c.Repair(backupPath(b.User, b.Week), 0)
+			c.Close()
+			if err != nil {
+				return nil, fmt.Errorf("user %d repair: %w", b.User, err)
+			}
+			rr.repairEgressBytes += rs.Restore.DownloadedBytes
+		}
+		// The rebuilt cloud must carry real decode weight: verify one
+		// user's restore with a different cloud down.
+		cl.FailCloud(1)
+		if _, err := restoreVerified(cl, latest[0], 0, nil); err != nil {
+			return nil, fmt.Errorf("restore through repaired cloud: %w", err)
+		}
+		cl.RecoverCloud(1)
+
+	case Corrupted:
+		// Cloud 0 silently tampers with every stored share; containers
+		// stay structurally valid so only the scheme-level integrity
+		// check can notice (§3.2's threat).
+		if err := corruptCloudShares(cl, 0); err != nil {
+			return nil, err
+		}
+		if err := restoreAll(cl, latest, rr); err != nil {
+			return nil, err
+		}
+		if rr.subsetRetries == 0 {
+			return nil, fmt.Errorf("corrupted variant provoked no subset retries")
+		}
+
+	case Failover:
+		// Kill cloud 0's server once the first user's restore is already
+		// streaming: the engine must promote the spare mid-flight. A
+		// small window keeps plenty of fetches outstanding at the kill.
+		var once sync.Once
+		rs, err := restoreVerified(cl, latest[0], 16, func() {
+			once.Do(func() { cl.Clouds[0].Server.Close() })
+		})
+		if err != nil {
+			return nil, fmt.Errorf("mid-restore failover: %w", err)
+		}
+		rr.add(rs)
+		if rr.failovers == 0 {
+			return nil, fmt.Errorf("failover variant promoted no spare")
+		}
+		// Remaining users restore degraded (the dead cloud refuses
+		// connections).
+		if err := restoreAll(cl, latest[1:], rr); err != nil {
+			return nil, err
+		}
+
+	default:
+		return nil, fmt.Errorf("scenario: unknown variant %q", cfg.Variant)
+	}
+	return rr, nil
+}
+
+// corruptCloudShares flushes every server, tampers with every share
+// entry stored on cloud idx (CRCs recomputed so containers parse), and
+// drops all read caches so restores see the tampered backend.
+func corruptCloudShares(cl *cloud.Cluster, idx int) error {
+	for _, c := range cl.Clouds {
+		if err := c.Server.Flush(); err != nil {
+			return err
+		}
+	}
+	backend := cl.Clouds[idx].Backend
+	names, err := backend.List()
+	if err != nil {
+		return err
+	}
+	tampered := 0
+	for _, name := range names {
+		if !strings.HasPrefix(name, "share-") {
+			continue
+		}
+		raw, err := backend.Get(name)
+		if err != nil {
+			return err
+		}
+		c, err := container.Unmarshal(name, raw)
+		if err != nil {
+			return err
+		}
+		for i := range c.Entries {
+			for j := 0; j < len(c.Entries[i].Data); j += 16 {
+				c.Entries[i].Data[j] ^= 0xA5
+			}
+			tampered++
+		}
+		if err := backend.Put(name, c.Marshal()); err != nil {
+			return err
+		}
+	}
+	if tampered == 0 {
+		return fmt.Errorf("scenario: cloud %d held no shares to corrupt", idx)
+	}
+	for _, c := range cl.Clouds {
+		c.Server.DropCaches()
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func samplePoint(variant Variant) Point {
+	p := Point{
+		RecordedAt:      "2026-08-08T00:00:00Z",
+		Quick:           true,
+		SpeedScale:      8,
+		Users:           3,
+		Weeks:           2,
+		LogicalMB:       6.5,
+		BackupMBps:      12.25,
+		RestoreMBps:     9.5,
+		DedupRatio:      1.9,
+		EgressMB:        3.2,
+		AllocsPerSecret: 41.5,
+		USDPerTBMonth:   31.4,
+	}
+	switch variant {
+	case Degraded:
+		p.RepairEgressMB = 2.4
+		p.DegradedPremiumUSD = 1.1
+	case Corrupted:
+		p.SubsetRetries = 17
+	case Failover:
+		p.Failovers = 1
+	}
+	return p
+}
+
+// The schema must survive a marshal/unmarshal round trip exactly: a
+// field silently dropped or renamed by a json tag change is schema
+// drift, and the trajectory files at the repo root would stop being
+// comparable across PRs.
+func TestBenchFileSchemaRoundTrip(t *testing.T) {
+	for _, v := range []Variant{Healthy, Degraded, Corrupted, Failover} {
+		f := &File{
+			SchemaVersion: SchemaVersion,
+			Scenario:      string(v) + "_fsl",
+			Points:        []Point{samplePoint(v), samplePoint(v)},
+		}
+		raw, err := json.Marshal(f)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", v, err)
+		}
+		var back File
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", v, err)
+		}
+		if !reflect.DeepEqual(f, &back) {
+			t.Fatalf("%s: round trip changed the file:\n  in:  %+v\n  out: %+v", v, f, &back)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("%s: round-tripped file invalid: %v", v, err)
+		}
+	}
+}
+
+// Every Point field must carry a json tag: an untagged field marshals
+// under its Go name, which is drift the round-trip test alone cannot
+// catch if both sides agree.
+func TestBenchPointFieldsAllTagged(t *testing.T) {
+	typ := reflect.TypeOf(Point{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		tag := f.Tag.Get("json")
+		if tag == "" || tag == "-" {
+			t.Errorf("Point.%s has no json tag", f.Name)
+		}
+		if tag != strings.ToLower(tag) {
+			t.Errorf("Point.%s json tag %q is not snake_case", f.Name, tag)
+		}
+	}
+}
+
+func TestAppendPointCreatesAndExtends(t *testing.T) {
+	dir := t.TempDir()
+	p1 := samplePoint(Healthy)
+	path, err := AppendPoint(dir, "healthy_fsl", p1)
+	if err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if filepath.Base(path) != "BENCH_healthy_fsl.json" {
+		t.Fatalf("wrote %s, want BENCH_healthy_fsl.json", path)
+	}
+	p2 := samplePoint(Healthy)
+	p2.BackupMBps = 13.5
+	if _, err := AppendPoint(dir, "healthy_fsl", p2); err != nil {
+		t.Fatalf("second append: %v", err)
+	}
+	f, err := LoadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(f.Points))
+	}
+	if !reflect.DeepEqual(f.Points[0], p1) || !reflect.DeepEqual(f.Points[1], p2) {
+		t.Fatalf("points did not round-trip through the file: %+v", f.Points)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("trajectory invalid: %v", err)
+	}
+}
+
+func TestAppendPointRefusesSchemaDrift(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := AppendPoint(dir, "healthy_fsl", samplePoint(Healthy)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, BenchFileName("healthy_fsl"))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := strings.Replace(string(raw), `"schema_version": 1`, `"schema_version": 99`, 1)
+	if drifted == string(raw) {
+		t.Fatal("test setup: schema_version not found in file")
+	}
+	if err := os.WriteFile(path, []byte(drifted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendPoint(dir, "healthy_fsl", samplePoint(Healthy)); err == nil {
+		t.Fatal("append to a schema-drifted file succeeded, want refusal")
+	}
+	if err := os.Rename(path, filepath.Join(dir, BenchFileName("healthy_vm"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendPoint(dir, "healthy_vm", samplePoint(Healthy)); err == nil {
+		t.Fatal("append to a renamed trajectory succeeded, want scenario-name refusal")
+	}
+}
+
+func TestValidateCatchesVariantViolations(t *testing.T) {
+	cases := []struct {
+		scenario string
+		mutate   func(*Point)
+		want     string
+	}{
+		{"healthy_fsl", func(p *Point) { p.SubsetRetries = 3 }, "healthy"},
+		{"degraded_vm", func(p *Point) { p.RepairEgressMB = 0 }, "repair egress"},
+		{"corrupted_fsl", func(p *Point) { p.SubsetRetries = 0 }, "subset retries"},
+		{"failover_vm", func(p *Point) { p.Failovers = 0 }, "spare"},
+		{"healthy_fsl", func(p *Point) { p.DedupRatio = 0.5 }, "dedup ratio"},
+		{"healthy_fsl", func(p *Point) { p.USDPerTBMonth = 0 }, "cost"},
+	}
+	for _, tc := range cases {
+		variant, _, _ := strings.Cut(tc.scenario, "_")
+		p := samplePoint(Variant(variant))
+		tc.mutate(&p)
+		f := &File{SchemaVersion: SchemaVersion, Scenario: tc.scenario, Points: []Point{p}}
+		err := f.Validate()
+		if err == nil {
+			t.Errorf("%s with %s violation validated, want error", tc.scenario, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.scenario, err, tc.want)
+		}
+	}
+}
+
+// The quick matrix is the CI smoke path: every variant x profile cell
+// must run the real stack end to end and emit a trajectory file that
+// passes Validate — including the variant-specific assertions that the
+// failure path actually fired (retries for corrupted, spare promotion
+// for failover, repair egress for degraded).
+func TestQuickMatrixProducesValidBenchFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick matrix runs the full 4-cloud stack eight times")
+	}
+	matrix := Matrix(true)
+	variants := map[Variant]bool{}
+	profiles := map[Profile]bool{}
+	dir := t.TempDir()
+	for _, cfg := range matrix {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			t.Parallel()
+			p, path, err := RunAndAppend(cfg, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := LoadBenchFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Validate(); err != nil {
+				t.Fatalf("emitted file invalid: %v", err)
+			}
+			if !p.Quick || p.SpeedScale != 8 {
+				t.Fatalf("quick point not marked: quick=%v scale=%v", p.Quick, p.SpeedScale)
+			}
+		})
+		variants[cfg.Variant] = true
+		profiles[cfg.Profile] = true
+	}
+	if len(variants) < 4 || len(profiles) < 2 {
+		t.Fatalf("matrix covers %d variants x %d profiles, want >=4 x >=2", len(variants), len(profiles))
+	}
+}
+
+// The degraded scenario's cost figure must be fed from measured
+// volumes: its repair read-amplification shows up as a degraded egress
+// premium above the healthy run of the same profile.
+func TestScenarioCostFedFromMeasuredVolumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full scenarios")
+	}
+	base := Config{Profile: FSL, Quick: true, SpeedScale: 8, Users: 3, Weeks: 2, Chunks: 120, Seed: 7}
+
+	healthy := base
+	healthy.Variant = Healthy
+	hp, err := Run(healthy)
+	if err != nil {
+		t.Fatalf("healthy: %v", err)
+	}
+
+	degraded := base
+	degraded.Variant = Degraded
+	dp, err := Run(degraded)
+	if err != nil {
+		t.Fatalf("degraded: %v", err)
+	}
+
+	if hp.USDPerTBMonth <= 0 || dp.USDPerTBMonth <= 0 {
+		t.Fatalf("cost figures missing: healthy=%v degraded=%v", hp.USDPerTBMonth, dp.USDPerTBMonth)
+	}
+	if dp.RepairEgressMB <= 0 {
+		t.Fatalf("degraded run measured no repair egress")
+	}
+	if dp.DegradedPremiumUSD <= hp.DegradedPremiumUSD {
+		t.Fatalf("degraded premium %v not above healthy %v despite repair egress %v MB",
+			dp.DegradedPremiumUSD, hp.DegradedPremiumUSD, dp.RepairEgressMB)
+	}
+	if dp.USDPerTBMonth <= hp.USDPerTBMonth {
+		t.Fatalf("degraded $/TB/month %v not above healthy %v", dp.USDPerTBMonth, hp.USDPerTBMonth)
+	}
+}
