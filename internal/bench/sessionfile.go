@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SessionsSchemaVersion is bumped on any incompatible change to the
+// BENCH_sessions_* layout. AppendSessionsPoint refuses to extend a file
+// written under a different version, the same schema-drift tripwire the
+// scenario trajectories use: a PR that changes the schema must migrate
+// or consciously reset the file in the same commit.
+const SessionsSchemaVersion = 1
+
+// SessionsBenchFile is the repo-root trajectory of the concurrent-
+// session server benchmark: every `cdbench sessions` run appends one
+// point, so the series records how each PR moved server-side put
+// throughput under multi-session load.
+const SessionsBenchFile = "BENCH_sessions_put.json"
+
+// SessionsFile is the on-disk trajectory.
+type SessionsFile struct {
+	SchemaVersion int             `json:"schema_version"`
+	Benchmark     string          `json:"benchmark"`
+	Points        []SessionsPoint `json:"points"`
+}
+
+// SessionsPoint is one full run of the sessions benchmark.
+type SessionsPoint struct {
+	// RecordedAt is the RFC3339 run timestamp.
+	RecordedAt string `json:"recorded_at"`
+	// Quick marks smoke-sized runs; compare quick points against quick
+	// points only.
+	Quick bool `json:"quick"`
+	// ShareSize is the per-share payload size in bytes.
+	ShareSize int `json:"share_size"`
+	// Rows holds every measured (sessions, mode) cell: the serial-vs-
+	// sharded sweep at low counts plus the sharded-only high-session
+	// sweep.
+	Rows []SessionsRowPoint `json:"rows"`
+	// SpeedupAt8 is sharded/serial aggregate shares-per-second at 8
+	// sessions — the PR-3 headline number, tracked so a regression in
+	// the sharded index shows as a step in the series.
+	SpeedupAt8 float64 `json:"speedup_at_8"`
+	// TailRatio is sharded MB/s at 256 sessions divided by MB/s at 8
+	// sessions — the non-collapse claim the bench test asserts. Near or
+	// above 1 means throughput holds at the tail; a collapse under
+	// admission-control bugs or per-session allocation bloat drags it
+	// toward 0. (The 1024-session row is still recorded, but at quick
+	// sizing it is dominated by per-session setup cost, so the derived
+	// ratio anchors on 256.)
+	TailRatio float64 `json:"tail_ratio"`
+}
+
+// SessionsRowPoint is the JSON form of one SessionRow.
+type SessionsRowPoint struct {
+	Sessions     int     `json:"sessions"`
+	Mode         string  `json:"mode"`
+	Shares       int     `json:"shares"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	SharesPerSec float64 `json:"shares_per_sec"`
+	MBps         float64 `json:"mbps"`
+}
+
+// RowPoint converts a measured SessionRow for trajectory storage.
+func RowPoint(r SessionRow) SessionsRowPoint {
+	return SessionsRowPoint{
+		Sessions:     r.Sessions,
+		Mode:         r.Mode,
+		Shares:       r.Shares,
+		ElapsedMS:    float64(r.Elapsed.Microseconds()) / 1000,
+		SharesPerSec: r.SharesPerSec,
+		MBps:         r.MBps,
+	}
+}
+
+// LoadSessionsFile reads a trajectory file. A missing file returns
+// (nil, nil): no history yet.
+func LoadSessionsFile(path string) (*SessionsFile, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f SessionsFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// AppendSessionsPoint loads the sessions trajectory in dir (creating it
+// on first run), verifies the schema version, appends p, and writes the
+// file back atomically (tmp + rename, so a crashed run never truncates
+// the trajectory).
+func AppendSessionsPoint(dir string, p SessionsPoint) (string, error) {
+	path := filepath.Join(dir, SessionsBenchFile)
+	f, err := LoadSessionsFile(path)
+	if err != nil {
+		return "", err
+	}
+	if f == nil {
+		f = &SessionsFile{SchemaVersion: SessionsSchemaVersion, Benchmark: "sessions_put"}
+	}
+	if f.SchemaVersion != SessionsSchemaVersion {
+		return "", fmt.Errorf("bench: %s has schema version %d, this build writes %d — migrate or reset the trajectory",
+			path, f.SchemaVersion, SessionsSchemaVersion)
+	}
+	if f.Benchmark != "sessions_put" {
+		return "", fmt.Errorf("bench: %s names benchmark %q, not %q", path, f.Benchmark, "sessions_put")
+	}
+	f.Points = append(f.Points, p)
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	raw = append(raw, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return "", err
+	}
+	return path, os.Rename(tmp, path)
+}
+
+// Validate checks a sessions trajectory's internal consistency.
+func (f *SessionsFile) Validate() error {
+	if f.SchemaVersion != SessionsSchemaVersion {
+		return fmt.Errorf("schema version %d, want %d", f.SchemaVersion, SessionsSchemaVersion)
+	}
+	if f.Benchmark != "sessions_put" {
+		return fmt.Errorf("benchmark %q, want sessions_put", f.Benchmark)
+	}
+	if len(f.Points) == 0 {
+		return fmt.Errorf("no points")
+	}
+	for i, p := range f.Points {
+		if p.RecordedAt == "" {
+			return fmt.Errorf("point %d: no timestamp", i)
+		}
+		if p.ShareSize <= 0 || len(p.Rows) == 0 {
+			return fmt.Errorf("point %d: degenerate sizing", i)
+		}
+		for j, r := range p.Rows {
+			if r.Sessions <= 0 || r.Shares <= 0 || r.SharesPerSec <= 0 || r.MBps <= 0 {
+				return fmt.Errorf("point %d row %d: non-positive measurement %+v", i, j, r)
+			}
+			if r.Mode != "sharded" && r.Mode != "serial" {
+				return fmt.Errorf("point %d row %d: unknown mode %q", i, j, r.Mode)
+			}
+		}
+		if p.SpeedupAt8 <= 0 || p.TailRatio <= 0 {
+			return fmt.Errorf("point %d: missing derived ratios (speedup %v, tail %v)", i, p.SpeedupAt8, p.TailRatio)
+		}
+	}
+	return nil
+}

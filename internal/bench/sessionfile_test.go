@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testSessionsPoint() SessionsPoint {
+	return SessionsPoint{
+		RecordedAt: "2026-08-08T00:00:00Z",
+		Quick:      true,
+		ShareSize:  1024,
+		Rows: []SessionsRowPoint{
+			{Sessions: 8, Mode: "serial", Shares: 6400, ElapsedMS: 500, SharesPerSec: 12800, MBps: 12.5},
+			{Sessions: 8, Mode: "sharded", Shares: 6400, ElapsedMS: 100, SharesPerSec: 64000, MBps: 62.5},
+			{Sessions: 256, Mode: "sharded", Shares: 6400, ElapsedMS: 120, SharesPerSec: 53333, MBps: 52.1},
+		},
+		SpeedupAt8: 5.0,
+		TailRatio:  0.83,
+	}
+}
+
+func TestSessionsTrajectoryAppendAndReload(t *testing.T) {
+	dir := t.TempDir()
+	p := testSessionsPoint()
+	path, err := AppendSessionsPoint(dir, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != SessionsBenchFile {
+		t.Fatalf("wrote %s, want %s", path, SessionsBenchFile)
+	}
+	// Second append extends, not truncates.
+	p2 := p
+	p2.RecordedAt = "2026-08-09T00:00:00Z"
+	if _, err := AppendSessionsPoint(dir, p2); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadSessionsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil || len(f.Points) != 2 {
+		t.Fatalf("reload: got %+v, want 2 points", f)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("round-tripped trajectory invalid: %v", err)
+	}
+	if f.Points[1].RecordedAt != p2.RecordedAt {
+		t.Fatalf("append order lost: %+v", f.Points)
+	}
+}
+
+func TestSessionsTrajectoryMissingFileIsEmptyHistory(t *testing.T) {
+	f, err := LoadSessionsFile(filepath.Join(t.TempDir(), SessionsBenchFile))
+	if err != nil || f != nil {
+		t.Fatalf("missing file: got %v, %v; want nil, nil", f, err)
+	}
+}
+
+func TestSessionsTrajectorySchemaDriftRefused(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := AppendSessionsPoint(dir, testSessionsPoint()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, SessionsBenchFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := strings.Replace(string(raw), `"schema_version": 1`, `"schema_version": 99`, 1)
+	if drifted == string(raw) {
+		t.Fatal("fixture did not contain the schema version marker")
+	}
+	if err := os.WriteFile(path, []byte(drifted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendSessionsPoint(dir, testSessionsPoint()); err == nil {
+		t.Fatal("append extended a trajectory with a foreign schema version")
+	}
+}
+
+func TestSessionsTrajectoryValidateCatchesDegenerateRows(t *testing.T) {
+	now := time.Now().UTC().Format(time.RFC3339)
+	bad := []SessionsFile{
+		{SchemaVersion: SessionsSchemaVersion, Benchmark: "sessions_put"}, // no points
+		{SchemaVersion: SessionsSchemaVersion, Benchmark: "other",
+			Points: []SessionsPoint{testSessionsPoint()}},
+		{SchemaVersion: SessionsSchemaVersion, Benchmark: "sessions_put",
+			Points: []SessionsPoint{{RecordedAt: now, ShareSize: 1024,
+				Rows:       []SessionsRowPoint{{Sessions: 8, Mode: "warped", Shares: 1, SharesPerSec: 1, MBps: 1}},
+				SpeedupAt8: 1, TailRatio: 1}}},
+		{SchemaVersion: SessionsSchemaVersion, Benchmark: "sessions_put",
+			Points: []SessionsPoint{{RecordedAt: now, ShareSize: 1024,
+				Rows:       []SessionsRowPoint{{Sessions: 8, Mode: "sharded", Shares: 1, SharesPerSec: 1, MBps: 1}},
+				SpeedupAt8: 0, TailRatio: 1}}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Fatalf("case %d: degenerate trajectory validated clean", i)
+		}
+	}
+	good := SessionsFile{SchemaVersion: SessionsSchemaVersion, Benchmark: "sessions_put",
+		Points: []SessionsPoint{testSessionsPoint()}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("well-formed trajectory rejected: %v", err)
+	}
+}
+
+func TestRowPointConversion(t *testing.T) {
+	r := SessionRow{Sessions: 64, Mode: "sharded", Shares: 4096,
+		Elapsed: 1500 * time.Millisecond, SharesPerSec: 2730.7, MBps: 2.67}
+	p := RowPoint(r)
+	if p.Sessions != 64 || p.Mode != "sharded" || p.Shares != 4096 ||
+		p.ElapsedMS != 1500 || p.SharesPerSec != r.SharesPerSec || p.MBps != r.MBps {
+		t.Fatalf("conversion mangled the row: %+v", p)
+	}
+}

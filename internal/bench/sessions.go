@@ -201,3 +201,30 @@ func ConcurrentSessionsSweep(counts []int, sharesPerSession, shareSize int) ([]S
 	}
 	return rows, nil
 }
+
+// HighSessionSweep measures the sharded server alone at high session
+// counts, holding TOTAL volume roughly constant so each row pushes the
+// same work through ever more concurrent connections. This is the
+// flow-control regime: at 256-1024 sessions the interesting question is
+// no longer speedup (the serial baseline is hopeless there) but whether
+// aggregate throughput HOLDS — per-session scratch, pooled frames, and
+// the byte-budget admission limiter are what keep a thousand mostly-
+// parked sessions from collapsing the container store.
+func HighSessionSweep(counts []int, totalShares, shareSize int) ([]SessionRow, error) {
+	if len(counts) == 0 {
+		counts = []int{8, 64, 256, 1024}
+	}
+	var rows []SessionRow
+	for _, m := range counts {
+		per := totalShares / m
+		if per < 4 {
+			per = 4
+		}
+		row, err := ConcurrentSessions(m, per, shareSize, false)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

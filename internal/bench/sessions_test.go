@@ -72,6 +72,37 @@ func TestShardedIndexSpeedupAt8Sessions(t *testing.T) {
 	}
 }
 
+// TestHighSessionCountNoCollapse is the flow-control claim of the hot-
+// path overhaul: pushing the same total volume through 32x the session
+// count must not collapse aggregate throughput. Without per-session
+// scratch reuse, pooled frames, and the admission byte budget, hundreds
+// of concurrent sessions each pin batch-sized buffers and stampede the
+// container store; with them, throughput at the tail stays within a
+// small factor of the 8-session figure.
+func TestHighSessionCountNoCollapse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second measurement")
+	}
+	if race.Enabled {
+		// Same reasoning as the speedup test: race instrumentation
+		// multiplies the CPU cost per share while the modeled backend
+		// latency stays fixed, so the ratio this test asserts is not the
+		// one the benchmark measures.
+		t.Skip("timing assertion is not meaningful under -race")
+	}
+	rows, err := HighSessionSweep([]int{8, 256}, 8192, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, tail := rows[0], rows[len(rows)-1]
+	ratio := tail.MBps / base.MBps
+	t.Logf("8 sessions: %.1f MB/s; 256 sessions: %.1f MB/s (tail ratio %.2f)",
+		base.MBps, tail.MBps, ratio)
+	if ratio < 0.4 {
+		t.Fatalf("throughput collapsed at 256 sessions: %.2fx of the 8-session figure, want >= 0.4x", ratio)
+	}
+}
+
 func BenchmarkConcurrentSessions8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		row, err := ConcurrentSessions(8, 400, 1024, false)

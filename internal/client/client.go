@@ -55,6 +55,15 @@ type Options struct {
 	// workers drain window N, and memory held by a restore/repair is
 	// O(window), never O(file). Default 512.
 	RestoreWindow int
+	// RestoreWindowBytes additionally bounds each restore window by the
+	// decoded secret bytes it covers: a window closes once its secrets'
+	// cumulative SecretSize reaches this budget (always admitting at
+	// least one secret), or at RestoreWindow secrets, whichever comes
+	// first. With count-only windows a file of large chunks can pin
+	// RestoreWindow * chunkSize bytes in flight; a byte budget keeps the
+	// pipeline's memory ceiling independent of chunk size skew. Zero
+	// keeps count-only windows (the previous behavior).
+	RestoreWindowBytes int
 	// RestoreCacheBytes bounds the client-side share cache consulted
 	// across restore windows, so a recipe referencing the same share
 	// fingerprint many times downloads it once — restores then pay egress

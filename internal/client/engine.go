@@ -53,10 +53,11 @@ type secretSink func(seq uint64, secret []byte) error
 // remain (more than k reachable), the fetcher promotes a spare and
 // retries the window's missing fetches instead of failing the restore.
 type restoreEngine struct {
-	c          *Client
-	numSecrets uint64
-	fileSize   uint64
-	window     int
+	c           *Client
+	numSecrets  uint64
+	fileSize    uint64
+	window      int
+	windowBytes int // 0: count-only windows
 
 	// mu guards primary/spares: the fetcher reshuffles them on failover
 	// while decode workers snapshot them for subset retries.
@@ -113,12 +114,13 @@ func (c *Client) newRestoreEngine(path string, exclude int) (*restoreEngine, err
 		}
 	}
 	e := &restoreEngine{
-		c:          c,
-		numSecrets: numSecrets,
-		fileSize:   fileSize,
-		window:     c.opts.RestoreWindow,
-		primary:    avail[:c.opts.K],
-		spares:     avail[c.opts.K:],
+		c:           c,
+		numSecrets:  numSecrets,
+		fileSize:    fileSize,
+		window:      c.opts.RestoreWindow,
+		windowBytes: c.opts.RestoreWindowBytes,
+		primary:     avail[:c.opts.K],
+		spares:      avail[c.opts.K:],
 	}
 	if c.opts.RestoreCacheBytes > 0 {
 		e.shareCache = cache.NewLRU(int64(c.opts.RestoreCacheBytes))
@@ -174,6 +176,31 @@ func (e *restoreEngine) stats() *RestoreStats {
 	}
 }
 
+// windowEnd returns the exclusive end of the pipeline window starting at
+// start: at most e.window secrets, and — when a byte budget is set —
+// closing early once cumulative secret bytes reach it. At least one
+// secret is always admitted, so a single secret larger than the budget
+// forms a window of its own rather than stalling the pipeline.
+func (e *restoreEngine) windowEnd(start uint64) uint64 {
+	end := start + uint64(e.window)
+	if end > e.numSecrets {
+		end = e.numSecrets
+	}
+	if e.windowBytes <= 0 {
+		return end
+	}
+	recipe := e.refRecipe()
+	acc := uint64(0)
+	for seq := start; seq < end; seq++ {
+		sz := uint64(recipe.Entries[seq].SecretSize)
+		if seq > start && acc+sz > uint64(e.windowBytes) {
+			return seq
+		}
+		acc += sz
+	}
+	return end
+}
+
 // run streams every secret of the file through the pipeline into sink,
 // in order. It returns after the last secret has been delivered (or the
 // first error has unwound the pipeline).
@@ -195,11 +222,8 @@ func (e *restoreEngine) run(sink secretSink) error {
 	// fetcher runs at most one window ahead of the slowest decoder.
 	go func() {
 		defer close(jobs)
-		for start := uint64(0); start < e.numSecrets; start += uint64(e.window) {
-			end := start + uint64(e.window)
-			if end > e.numSecrets {
-				end = e.numSecrets
-			}
+		for start := uint64(0); start < e.numSecrets; {
+			end := e.windowEnd(start)
 			got, err := e.fetchWindow(start, end)
 			if err != nil {
 				select {
@@ -238,6 +262,7 @@ func (e *restoreEngine) run(sink secretSink) error {
 					return
 				}
 			}
+			start = end
 		}
 	}()
 

@@ -18,6 +18,7 @@ package gf256
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -37,8 +38,14 @@ type Field struct {
 	mul [Order][Order]byte
 	inv [Order]byte
 	// wide caches the per-coefficient double-byte tables the wide kernels
-	// consume; entries are built lazily on first bulk use of a coefficient.
-	wide [Order]atomic.Pointer[wideTab]
+	// consume; entries are built lazily on first bulk use of a coefficient
+	// and bounded to wideCacheCap resident tables (see kernel.go). Reads
+	// stay a single atomic load; builds and evictions serialize on wideMu.
+	wide      [Order]atomic.Pointer[wideTab]
+	wideStamp [Order]atomic.Uint64 // last-use clock ticks, for LRU eviction
+	wideClock atomic.Uint64
+	wideMu    sync.Mutex
+	wideCount int // resident tables, guarded by wideMu
 	// scalar forces the byte-at-a-time loops (NewScalar): the reference
 	// the wide kernels are property-tested and benchmarked against.
 	scalar bool

@@ -17,7 +17,8 @@ import "encoding/binary"
 // winning trade is the opposite one: make each lookup cover MORE input,
 // not less. The wide kernel therefore uses a per-coefficient double-byte
 // table t[x1<<8|x0] = (c*x1)<<8 | c*x0 — one 64K-entry uint16 table per
-// coefficient, built lazily on first use and cached on the Field — which
+// coefficient, built lazily on first use and cached on the Field under a
+// wideCacheCap-bounded LRU — which
 // halves the lookup count to one per two bytes and reaches ~3x the
 // unrolled byte-table loop on 4KB slices. The byte-at-a-time path remains
 // for tails, for tiny slices, and as the property-test reference
@@ -32,13 +33,47 @@ type wideTab [1 << 16]uint16
 // table is not worth it and the scalar tail loop runs instead.
 const wideMinLen = 64
 
-// wideTab returns c's double-byte table, building and caching it on first
-// use. Concurrent first uses may build duplicate tables; every build
-// produces identical content, so the racing atomic stores are benign and
-// all but one table become garbage.
+// wideCacheCap bounds the number of resident per-coefficient tables. At
+// 128KB each, an unbounded cache tops out at 32MB per Field — harmless
+// for one encoder, but a Field lives in every client and server process
+// and Cauchy matrices at large n touch many coefficients exactly once.
+// 64 tables (8MB worst case) comfortably covers any (n,k) the encoder
+// uses steady-state while keeping one-shot coefficients from pinning
+// memory forever.
+const wideCacheCap = 64
+
+// wideTab returns c's double-byte table, building and caching it on
+// first use. The fast path is a single atomic load plus a last-use stamp
+// store — no lock. Builds and evictions serialize on wideMu: when the
+// cache is full the approximately-least-recently-stamped table is
+// dropped. Eviction only clears the cache slot; a kernel that loaded the
+// pointer moments earlier keeps a valid (immutable) table until it
+// returns, and the GC reclaims it afterwards.
 func (f *Field) wideTab(c byte) *wideTab {
 	if t := f.wide[c].Load(); t != nil {
+		f.wideStamp[c].Store(f.wideClock.Add(1))
 		return t
+	}
+	f.wideMu.Lock()
+	defer f.wideMu.Unlock()
+	if t := f.wide[c].Load(); t != nil { // built while we waited
+		f.wideStamp[c].Store(f.wideClock.Add(1))
+		return t
+	}
+	if f.wideCount >= wideCacheCap {
+		victim, oldest := -1, ^uint64(0)
+		for i := range f.wide {
+			if f.wide[i].Load() == nil {
+				continue
+			}
+			if s := f.wideStamp[i].Load(); s < oldest {
+				victim, oldest = i, s
+			}
+		}
+		if victim >= 0 {
+			f.wide[victim].Store(nil)
+			f.wideCount--
+		}
 	}
 	row := &f.mul[c]
 	t := new(wideTab)
@@ -49,8 +84,24 @@ func (f *Field) wideTab(c byte) *wideTab {
 			t[base|x0] = hi | uint16(row[x0])
 		}
 	}
+	f.wideStamp[c].Store(f.wideClock.Add(1))
 	f.wide[c].Store(t)
+	f.wideCount++
 	return t
+}
+
+// wideResident reports how many double-byte tables are currently cached
+// (test hook for the eviction bound).
+func (f *Field) wideResident() int {
+	f.wideMu.Lock()
+	defer f.wideMu.Unlock()
+	n := 0
+	for i := range f.wide {
+		if f.wide[i].Load() != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // mulAdd64 sets dst[i] ^= c*src[i] over the word-aligned prefix of

@@ -157,6 +157,91 @@ func TestWideTabConcurrentFirstUse(t *testing.T) {
 	}
 }
 
+// TestWideCacheBounded sweeps every coefficient through the wide kernel
+// and asserts the table cache never exceeds its cap — an unbounded cache
+// would sit at 256 tables (32MB) after this sweep.
+func TestWideCacheBounded(t *testing.T) {
+	wide, scalar := New(), NewScalar()
+	rng := rand.New(rand.NewSource(12))
+	src := make([]byte, 257)
+	dst := make([]byte, 257)
+	rng.Read(src)
+	rng.Read(dst)
+	for c := 0; c < Order; c++ {
+		want := append([]byte(nil), dst...)
+		got := append([]byte(nil), dst...)
+		scalar.MulAddSlice(byte(c), src, want)
+		wide.MulAddSlice(byte(c), src, got)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("c=%d: wide disagrees with scalar mid-sweep", c)
+		}
+		if n := wide.wideResident(); n > wideCacheCap {
+			t.Fatalf("after coefficient %d: %d resident tables, cap is %d", c, n, wideCacheCap)
+		}
+	}
+	if n := wide.wideResident(); n != wideCacheCap {
+		t.Fatalf("full sweep left %d resident tables, want a full cache of %d", n, wideCacheCap)
+	}
+}
+
+// TestWideCacheKeepsHotCoefficient pins the LRU property: a coefficient
+// re-touched between floods of one-shot coefficients must survive every
+// eviction round, while the one-shot tables churn beneath it.
+func TestWideCacheKeepsHotCoefficient(t *testing.T) {
+	f := New()
+	src := make([]byte, 128)
+	dst := make([]byte, 128)
+	rand.New(rand.NewSource(13)).Read(src)
+	const hot = 7
+	f.MulAddSlice(hot, src, dst)
+	for c := 0; c < Order; c++ {
+		if c == hot {
+			continue
+		}
+		f.MulAddSlice(byte(c), src, dst)
+		f.MulAddSlice(hot, src, dst) // refresh the hot stamp
+	}
+	if f.wide[hot].Load() == nil {
+		t.Fatal("hot coefficient's table was evicted despite constant use")
+	}
+}
+
+// TestWideCacheRebuildAfterEviction evicts a coefficient by flooding the
+// cache without touching it, then uses it again: the table must be
+// rebuilt and produce scalar-identical results.
+func TestWideCacheRebuildAfterEviction(t *testing.T) {
+	wide, scalar := New(), NewScalar()
+	rng := rand.New(rand.NewSource(14))
+	src := make([]byte, 300)
+	dst := make([]byte, 300)
+	rng.Read(src)
+	rng.Read(dst)
+	const victim = 42
+	wide.MulAddSlice(victim, src, dst)
+	if wide.wide[victim].Load() == nil {
+		t.Fatal("victim table not built")
+	}
+	// Flood with enough distinct coefficients to push victim out.
+	for c := 0; c < Order; c++ {
+		if c != victim {
+			wide.MulAddSlice(byte(c), src, dst)
+		}
+	}
+	if wide.wide[victim].Load() != nil {
+		t.Fatal("victim survived a full-cache flood without being touched")
+	}
+	want := append([]byte(nil), dst...)
+	got := append([]byte(nil), dst...)
+	scalar.MulAddSlice(victim, src, want)
+	wide.MulAddSlice(victim, src, got)
+	if !bytes.Equal(got, want) {
+		t.Fatal("rebuilt table disagrees with scalar reference")
+	}
+	if wide.wide[victim].Load() == nil {
+		t.Fatal("table not re-cached after eviction")
+	}
+}
+
 func BenchmarkMulAddSliceScalar(b *testing.B) {
 	f := NewScalar()
 	src := make([]byte, 8192)

@@ -90,18 +90,35 @@ var ErrNotFound = errors.New("index: entry not found")
 // shardOf maps a fingerprint to its lock stripe.
 func shardOf(fp metadata.Fingerprint) int { return int(fp[0]) % NumShards }
 
-// Open opens (or creates) the index database rooted at dir. The share
-// index lives in dir/shards/NN (one lsmkv store per shard, opened in
-// parallel so recovery scans shards concurrently); the file index lives
-// in dir/files. A directory holding the retired single-store layout
-// (lsmkv files directly in dir) is migrated in place into the sharded
-// layout before opening, so long-lived pre-sharding deployments survive
-// an upgrade.
-func Open(dir string) (*Index, error) {
+// Options configures an Index.
+type Options struct {
+	// SyncWAL fsyncs each shard's write-ahead log at every commit point.
+	// The batched CommitShares still issues only ONE fsync per touched
+	// shard per batch (group commit), so durability costs O(shards
+	// touched), not O(shares committed). Default false, matching lsmkv.
+	SyncWAL bool
+}
+
+// Open opens (or creates) the index database rooted at dir with default
+// options. See OpenWithOptions.
+func Open(dir string) (*Index, error) { return OpenWithOptions(dir, nil) }
+
+// OpenWithOptions opens (or creates) the index database rooted at dir.
+// The share index lives in dir/shards/NN (one lsmkv store per shard,
+// opened in parallel so recovery scans shards concurrently); the file
+// index lives in dir/files. A directory holding the retired single-store
+// layout (lsmkv files directly in dir) is migrated in place into the
+// sharded layout before opening, so long-lived pre-sharding deployments
+// survive an upgrade.
+func OpenWithOptions(dir string, opts *Options) (*Index, error) {
 	if legacy := legacyStoreFiles(dir); len(legacy) > 0 {
 		if err := migrateLegacy(dir); err != nil {
 			return nil, fmt.Errorf("index: migrating pre-sharding single-store index in %s: %w", dir, err)
 		}
+	}
+	var kvOpts *lsmkv.Options
+	if opts != nil && opts.SyncWAL {
+		kvOpts = &lsmkv.Options{SyncWAL: true}
 	}
 	ix := &Index{}
 	var wg sync.WaitGroup
@@ -110,7 +127,7 @@ func Open(dir string) (*Index, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			db, err := lsmkv.Open(filepath.Join(dir, "shards", fmt.Sprintf("%02x", i)), nil)
+			db, err := lsmkv.Open(filepath.Join(dir, "shards", fmt.Sprintf("%02x", i)), kvOpts)
 			if err != nil {
 				errs[i] = err
 				return
@@ -121,7 +138,7 @@ func Open(dir string) (*Index, error) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		db, err := lsmkv.Open(filepath.Join(dir, "files"), nil)
+		db, err := lsmkv.Open(filepath.Join(dir, "files"), kvOpts)
 		if err != nil {
 			errs[NumShards] = err
 			return
@@ -155,6 +172,18 @@ func (ix *Index) Close() error {
 		}
 	}
 	return firstErr
+}
+
+// WALSyncs returns the total number of write-ahead-log fsyncs issued
+// across every shard store since open — the observable that group-
+// committed CommitShares batches cost one sync per touched shard, not
+// one per share. Always zero unless Options.SyncWAL is set.
+func (ix *Index) WALSyncs() uint64 {
+	var total uint64
+	for _, sh := range ix.shards {
+		total += sh.db.Stats().WALSyncs
+	}
+	return total
 }
 
 // Flush persists in-memory state (snapshot-friendly checkpoint).

@@ -143,6 +143,64 @@ func (ix *Index) CommitShare(fp metadata.Fingerprint, containerName string) erro
 	return sh.putLocked(pe.entry)
 }
 
+// CommitShares is the batched form of CommitShare the server's put path
+// uses: fingerprints are grouped by shard, each touched shard's lock is
+// taken exactly once, and every shard persists its group through a
+// single lsmkv PutBatch — one WAL append (and, under SyncWAL, one fsync)
+// per touched shard per batch instead of one per share. The durability
+// point is unchanged: waiters are woken and the commit is acknowledged
+// only after the group write returns, exactly as with N sequential
+// CommitShare calls.
+//
+// containers[i] names the container holding fps[i]'s bytes. Every
+// fingerprint must hold an in-flight reservation owned by the caller.
+// On error, reservations in the failed shard's group (and in groups not
+// yet reached) remain pending — the caller still owns them and must
+// AbortShare each uncommitted fingerprint, which wakes waiters just as
+// a container-append failure would.
+func (ix *Index) CommitShares(fps []metadata.Fingerprint, containers []string) error {
+	if len(fps) != len(containers) {
+		return fmt.Errorf("index: CommitShares got %d fingerprints, %d containers", len(fps), len(containers))
+	}
+	if len(fps) == 0 {
+		return nil
+	}
+	var keys, values [][]byte
+	for s, group := range groupByShardPos(fps) {
+		if len(group) == 0 {
+			continue
+		}
+		sh := ix.shards[s]
+		keys = keys[:0]
+		values = values[:0]
+		sh.mu.Lock()
+		for _, pos := range group {
+			pe, ok := sh.pending[fps[pos]]
+			if !ok {
+				sh.mu.Unlock()
+				return fmt.Errorf("index: commit of unreserved share %s", fps[pos])
+			}
+			pe.entry.Container = containers[pos]
+			keys = append(keys, shareKey(fps[pos]))
+			values = append(values, marshalShareEntry(pe.entry))
+		}
+		// Group write first: the reservation may only resolve (waiters
+		// wake, duplicates ack) once the whole group is durable.
+		if err := sh.db.PutBatch(keys, values); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		for _, pos := range group {
+			if pe, ok := sh.pending[fps[pos]]; ok {
+				delete(sh.pending, fps[pos])
+				close(pe.done)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
 // AbortShare drops a reservation whose container append failed and
 // wakes any waiting sessions. Because uploaders of an in-flight
 // fingerprint wait rather than deduplicate against the reservation, no

@@ -138,6 +138,40 @@ func (db *DB) Put(key, value []byte) error {
 	return db.maybeFlushLocked()
 }
 
+// PutBatch stores every keys[i]/values[i] pair atomically with respect
+// to durability: the whole group is appended to the WAL and made durable
+// with a single flush (and, under SyncWAL, a single fsync) before any
+// entry is acknowledged. This is the group-commit primitive — same
+// durability point as N calls to Put, ~N× fewer fsyncs.
+//
+// On error nothing is acknowledged; replay after a crash recovers the
+// durable prefix of the group (records are individually checksummed).
+func (db *DB) PutBatch(keys, values [][]byte) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("lsmkv: PutBatch got %d keys, %d values", len(keys), len(values))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	for _, k := range keys {
+		if len(k) == 0 {
+			return fmt.Errorf("lsmkv: empty key")
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.wal.appendBatch(walOpPut, keys, values); err != nil {
+		return err
+	}
+	for i := range keys {
+		db.mem.put(append([]byte(nil), keys[i]...), append([]byte(nil), values[i]...), false)
+	}
+	return db.maybeFlushLocked()
+}
+
 // Delete removes key. Deleting an absent key is not an error.
 func (db *DB) Delete(key []byte) error {
 	if len(key) == 0 {
@@ -237,6 +271,7 @@ func (db *DB) flushLocked() error {
 	db.tables = append(db.tables, t)
 	db.mem = newSkiplist()
 	// Truncate the WAL: its contents are now durable in the table.
+	syncs := db.wal.syncs.Load()
 	if err := db.wal.close(); err != nil {
 		return err
 	}
@@ -245,6 +280,9 @@ func (db *DB) flushLocked() error {
 		return err
 	}
 	db.wal, err = openWAL(walPath, db.opts.SyncWAL)
+	if err == nil {
+		db.wal.syncs.Store(syncs) // counter is per-DB, not per-log-file
+	}
 	return err
 }
 
@@ -373,6 +411,10 @@ type Stats struct {
 	MemtableBytes int
 	CacheHits     uint64
 	CacheMisses   uint64
+	// WALSyncs counts fsyncs issued by the write-ahead log since Open.
+	// Under SyncWAL, a PutBatch of N records costs one sync, not N —
+	// the observable that group commit is working.
+	WALSyncs uint64
 }
 
 // Stats returns operational counters.
@@ -385,6 +427,7 @@ func (db *DB) Stats() Stats {
 		MemtableBytes: db.mem.approximateSize(),
 		CacheHits:     h,
 		CacheMisses:   m,
+		WALSyncs:      db.wal.syncs.Load(),
 	}
 }
 

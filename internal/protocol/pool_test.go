@@ -1,0 +1,208 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+
+	"cdstore/internal/metadata"
+)
+
+func testBatch(n, size int) []ShareUpload {
+	shares := make([]ShareUpload, n)
+	for i := range shares {
+		data := bytes.Repeat([]byte{byte(i + 1)}, size+i)
+		shares[i] = ShareUpload{SecretSeq: uint64(i), SecretSize: uint32(4 * size), Data: data}
+	}
+	return shares
+}
+
+func TestDecodeShareBatchIntoMatchesCopying(t *testing.T) {
+	shares := testBatch(17, 700)
+	p := EncodeShareBatch(shares)
+	copied, err := DecodeShareBatch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst []ShareUpload
+	aliased, err := DecodeShareBatchInto(dst, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(copied) != len(aliased) {
+		t.Fatalf("len %d vs %d", len(copied), len(aliased))
+	}
+	for i := range copied {
+		if copied[i].SecretSeq != aliased[i].SecretSeq ||
+			copied[i].SecretSize != aliased[i].SecretSize ||
+			!bytes.Equal(copied[i].Data, aliased[i].Data) {
+			t.Fatalf("share %d differs between copying and aliasing decode", i)
+		}
+	}
+	// The aliasing decode must really alias: mutating the payload must
+	// show through (that is the zero-copy contract callers rely on and
+	// must respect before recycling the frame).
+	p[len(p)-1] ^= 0xFF
+	if bytes.Equal(copied[len(copied)-1].Data, aliased[len(aliased)-1].Data) {
+		t.Fatal("DecodeShareBatchInto copied share data; expected aliasing")
+	}
+}
+
+func TestDecodeFingerprintsIntoMatchesCopying(t *testing.T) {
+	fps := make([]metadata.Fingerprint, 50)
+	for i := range fps {
+		fps[i] = metadata.FingerprintOf([]byte{byte(i)})
+	}
+	p := EncodeFingerprints(fps)
+	a, err := DecodeFingerprints(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeFingerprintsInto(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("len %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fingerprint %d differs", i)
+		}
+	}
+}
+
+func TestEncodeSharesIntoMatchesEncodeShares(t *testing.T) {
+	shares := make([]ShareDownload, 9)
+	for i := range shares {
+		data := bytes.Repeat([]byte{byte(i)}, 300+i)
+		shares[i] = ShareDownload{Fingerprint: metadata.FingerprintOf(data), Data: data}
+	}
+	want := EncodeShares(shares)
+	got := EncodeSharesInto(nil, shares)
+	if !bytes.Equal(want, got) {
+		t.Fatal("EncodeSharesInto differs from EncodeShares")
+	}
+	// Appending into a reused buffer starts at buf[:0] semantics only if
+	// the caller re-slices; EncodeSharesInto itself appends.
+	prefix := []byte("xx")
+	got2 := EncodeSharesInto(prefix, shares)
+	if !bytes.Equal(got2[:2], []byte("xx")) || !bytes.Equal(got2[2:], want) {
+		t.Fatal("EncodeSharesInto did not append to the given buffer")
+	}
+}
+
+// repeatReader serves the same framed message forever, so a single Conn
+// can read it in a steady-state loop for allocation measurement.
+type repeatReader struct {
+	data []byte
+	off  int
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	n := copy(p, r.data[r.off:])
+	r.off = (r.off + n) % len(r.data)
+	return n, nil
+}
+
+func (r *repeatReader) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestPutPathDecodeAllocFloor pins the steady-state allocation count of
+// the server put path's wire work — pooled frame read + aliasing batch
+// decode — at zero. This is the protocol-layer half of the server's
+// alloc-floor guarantee.
+func TestPutPathDecodeAllocFloor(t *testing.T) {
+	shares := testBatch(64, 1024)
+	payload := EncodeShareBatch(shares)
+	framed := append([]byte{MsgPutShares, 0, 0, 0, 0}, payload...)
+	framed[1] = byte(len(payload) >> 24)
+	framed[2] = byte(len(payload) >> 16)
+	framed[3] = byte(len(payload) >> 8)
+	framed[4] = byte(len(payload))
+	conn := NewConn(&repeatReader{data: framed})
+
+	frame := GetFrame()
+	defer PutFrame(frame)
+	var batch []ShareUpload
+	// Warm up: grow the frame and the batch slice to the working set.
+	for i := 0; i < 3; i++ {
+		typ, p, err := conn.ReadMsgInto(frame)
+		if err != nil || typ != MsgPutShares {
+			t.Fatalf("warmup read: %v %v", typ, err)
+		}
+		batch, err = DecodeShareBatchInto(batch, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		typ, p, err := conn.ReadMsgInto(frame)
+		if err != nil || typ != MsgPutShares {
+			t.Fatalf("read: %v %v", typ, err)
+		}
+		batch, err = DecodeShareBatchInto(batch, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) != 64 {
+			t.Fatalf("decoded %d shares", len(batch))
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state put-path decode allocates %.1f per message, want 0", allocs)
+	}
+}
+
+// TestGetPathEncodeAllocFloor pins the response-encode half: building a
+// MsgShares payload into a reused buffer allocates nothing once grown.
+func TestGetPathEncodeAllocFloor(t *testing.T) {
+	shares := make([]ShareDownload, 64)
+	for i := range shares {
+		data := bytes.Repeat([]byte{byte(i)}, 1024)
+		shares[i] = ShareDownload{Fingerprint: metadata.FingerprintOf(data), Data: data}
+	}
+	buf := EncodeSharesInto(nil, shares) // grow once
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = EncodeSharesInto(buf[:0], shares)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state get-path encode allocates %.1f per message, want 0", allocs)
+	}
+}
+
+// FuzzShareBatch covers the put-path batch codec the way FuzzRecipe
+// covers recipes: attacker bytes must never panic either decoder, the
+// copying and aliasing decoders must agree exactly, and accepted inputs
+// must round-trip canonically through EncodeShareBatch.
+func FuzzShareBatch(f *testing.F) {
+	f.Add(EncodeShareBatch(nil))
+	f.Add(EncodeShareBatch(testBatch(1, 0)))
+	f.Add(EncodeShareBatch(testBatch(3, 1400)))
+	f.Add(EncodeShareBatch([]ShareUpload{{SecretSeq: ^uint64(0), SecretSize: ^uint32(0), Data: []byte{1}}}))
+	// Liars: absurd count, truncated header, trailing garbage.
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0, 0, 0, 1, 1, 2, 3})
+	f.Add(append(EncodeShareBatch(testBatch(1, 8)), 0xAA))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		copied, errA := DecodeShareBatch(data)
+		aliased, errB := DecodeShareBatchInto(nil, data)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("decoder disagreement: copying=%v aliasing=%v", errA, errB)
+		}
+		if errA != nil {
+			return
+		}
+		if len(copied) != len(aliased) {
+			t.Fatalf("decoded lengths differ: %d vs %d", len(copied), len(aliased))
+		}
+		for i := range copied {
+			if copied[i].SecretSeq != aliased[i].SecretSeq ||
+				copied[i].SecretSize != aliased[i].SecretSize ||
+				!bytes.Equal(copied[i].Data, aliased[i].Data) {
+				t.Fatalf("share %d differs between decoders", i)
+			}
+		}
+		if round := EncodeShareBatch(copied); !bytes.Equal(round, data) {
+			t.Fatalf("accepted batch is not canonical:\n in  %x\n out %x", data, round)
+		}
+	})
+}

@@ -176,19 +176,7 @@ func EncodeFingerprints(fps []metadata.Fingerprint) []byte {
 
 // DecodeFingerprints parses a fingerprint list payload.
 func DecodeFingerprints(p []byte) ([]metadata.Fingerprint, error) {
-	if len(p) < 4 {
-		return nil, ErrMalformed
-	}
-	count := int(binary.BigEndian.Uint32(p))
-	p = p[4:]
-	if count < 0 || len(p) != count*metadata.FingerprintSize {
-		return nil, ErrMalformed
-	}
-	fps := make([]metadata.Fingerprint, count)
-	for i := 0; i < count; i++ {
-		copy(fps[i][:], p[i*metadata.FingerprintSize:])
-	}
-	return fps, nil
+	return DecodeFingerprintsInto(nil, p)
 }
 
 // EncodeBitmap builds a MsgQueryResult payload: bit i set means the
@@ -239,35 +227,15 @@ func EncodeShareBatch(shares []ShareUpload) []byte {
 	return out
 }
 
-// DecodeShareBatch parses a MsgPutShares payload.
+// DecodeShareBatch parses a MsgPutShares payload. Unlike
+// DecodeShareBatchInto, each share's Data is an independent copy.
 func DecodeShareBatch(p []byte) ([]ShareUpload, error) {
-	if len(p) < 4 {
-		return nil, ErrMalformed
+	out, err := DecodeShareBatchInto(nil, p)
+	if err != nil {
+		return nil, err
 	}
-	count := int(binary.BigEndian.Uint32(p))
-	p = p[4:]
-	if count < 0 || count > 1<<22 {
-		return nil, ErrMalformed
-	}
-	out := make([]ShareUpload, 0, count)
-	for i := 0; i < count; i++ {
-		if len(p) < 16 {
-			return nil, ErrMalformed
-		}
-		var s ShareUpload
-		s.SecretSeq = binary.BigEndian.Uint64(p)
-		s.SecretSize = binary.BigEndian.Uint32(p[8:])
-		dlen := int(binary.BigEndian.Uint32(p[12:]))
-		p = p[16:]
-		if dlen < 0 || len(p) < dlen {
-			return nil, ErrMalformed
-		}
-		s.Data = append([]byte(nil), p[:dlen]...)
-		p = p[dlen:]
-		out = append(out, s)
-	}
-	if len(p) != 0 {
-		return nil, ErrMalformed
+	for i := range out {
+		out[i].Data = append([]byte(nil), out[i].Data...)
 	}
 	return out, nil
 }
@@ -284,14 +252,7 @@ func EncodeShares(shares []ShareDownload) []byte {
 	for i := range shares {
 		size += metadata.FingerprintSize + 4 + len(shares[i].Data)
 	}
-	out := make([]byte, 0, size)
-	out = binary.BigEndian.AppendUint32(out, uint32(len(shares)))
-	for i := range shares {
-		out = append(out, shares[i].Fingerprint[:]...)
-		out = binary.BigEndian.AppendUint32(out, uint32(len(shares[i].Data)))
-		out = append(out, shares[i].Data...)
-	}
-	return out
+	return EncodeSharesInto(make([]byte, 0, size), shares)
 }
 
 // DecodeShares parses a MsgShares payload.

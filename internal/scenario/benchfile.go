@@ -59,10 +59,18 @@ type Point struct {
 	// mid-restore spare promotions the variant provoked.
 	SubsetRetries int64 `json:"subset_retries"`
 	Failovers     int64 `json:"failovers"`
-	// AllocsPerSecret is heap allocations per restored secret across the
-	// restore phase (whole-process, so an approximation — but drift
-	// still shows up as a step in the series).
+	// AllocsPerSecret is heap allocations per restored secret. Points
+	// with AllocAccounting == "restore-phase" bracket the counter around
+	// the restore phases only (repair loops and failure injection
+	// excluded); older points left the field empty and bracketed the
+	// whole variant run, so their figures read systematically higher.
+	// Still process-wide within the bracket — drift shows as a step in
+	// the series either way.
 	AllocsPerSecret float64 `json:"allocs_per_secret"`
+	// AllocAccounting names the bracketing discipline behind
+	// AllocsPerSecret (empty on points recorded before the field
+	// existed; same schema version, old files stay readable).
+	AllocAccounting string `json:"alloc_accounting,omitempty"`
 	// USDPerTBMonth is the cost.AnalyzeMeasured figure at the canonical
 	// 1TB/week deployment with this run's measured dedup ratio and
 	// egress overheads; DegradedPremiumUSD is the egress bill beyond the

@@ -22,6 +22,7 @@ func samplePoint(variant Variant) Point {
 		DedupRatio:      1.9,
 		EgressMB:        3.2,
 		AllocsPerSecret: 41.5,
+		AllocAccounting: "restore-phase",
 		USDPerTBMonth:   31.4,
 	}
 	switch variant {
@@ -78,6 +79,41 @@ func TestBenchPointFieldsAllTagged(t *testing.T) {
 		if tag != strings.ToLower(tag) {
 			t.Errorf("Point.%s json tag %q is not snake_case", f.Name, tag)
 		}
+	}
+}
+
+// Trajectory files written before alloc_accounting existed must still
+// load, validate, and accept appends — the field is additive under the
+// same schema version, not a migration.
+func TestBenchFileReadsPointsWithoutAllocAccounting(t *testing.T) {
+	dir := t.TempDir()
+	old := samplePoint(Healthy)
+	old.AllocAccounting = "" // a pre-field point (omitempty drops the key)
+	path, err := AppendPoint(dir, "healthy_fsl", old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "alloc_accounting") {
+		t.Fatal("empty accounting note serialized anyway; omitempty lost")
+	}
+	// A new-style point appends alongside the old one.
+	if _, err := AppendPoint(dir, "healthy_fsl", samplePoint(Healthy)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("mixed old/new trajectory invalid: %v", err)
+	}
+	if f.Points[0].AllocAccounting != "" || f.Points[1].AllocAccounting != "restore-phase" {
+		t.Fatalf("accounting notes mangled: %q / %q",
+			f.Points[0].AllocAccounting, f.Points[1].AllocAccounting)
 	}
 }
 
