@@ -8,7 +8,7 @@
 // where <experiment> is one of:
 //
 //	table1 table2 fig5a fig5b fig6 fig7a fig7b fig8 fig9a fig9b
-//	ablation sessions encode restore chunkers scenarios all
+//	ablation sessions encode restore chunkers scenarios scrub all
 //
 // "sessions" goes beyond the paper: it measures aggregate multi-session
 // upload throughput against one server, comparing the sharded dedup
@@ -38,6 +38,11 @@
 // BENCH_<scenario>.json trajectory in the current directory, so the
 // repo-root files record how each PR moved the numbers.
 //
+// "scrub" runs the server-driven healing scenarios: injected silent
+// tamper on one cloud, a timed full-store scrub pass that must detect
+// all of it, scheduler-driven re-dispersal, and retry-free restores
+// after healing. Points append to BENCH_scrub_<profile>.json.
+//
 // -quick shrinks data volumes for a fast smoke run; the default sizes
 // take a few minutes in total (the shaped WAN runs are real-time).
 package main
@@ -57,7 +62,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink data volumes for a fast run")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cdbench [-quick] <table1|table2|fig5a|fig5b|fig6|fig7a|fig7b|fig8|fig9a|fig9b|ablation|sessions|encode|restore|chunkers|scenarios|all>")
+		fmt.Fprintln(os.Stderr, "usage: cdbench [-quick] <table1|table2|fig5a|fig5b|fig6|fig7a|fig7b|fig8|fig9a|fig9b|ablation|sessions|encode|restore|chunkers|scenarios|scrub|all>")
 		os.Exit(2)
 	}
 	exp := flag.Arg(0)
@@ -96,9 +101,10 @@ func main() {
 	run("restore", func() error { return restoreExp(scale(128, 16)) })
 	run("chunkers", func() error { return chunkers(scale(64, 8)) })
 	run("scenarios", func() error { return scenarios(*quick) })
+	run("scrub", func() error { return scrubScenarios(*quick) })
 
 	switch exp {
-	case "table1", "table2", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "ablation", "sessions", "encode", "restore", "chunkers", "scenarios", "all":
+	case "table1", "table2", "fig5a", "fig5b", "fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "ablation", "sessions", "encode", "restore", "chunkers", "scenarios", "scrub", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
 		os.Exit(2)
@@ -145,6 +151,35 @@ func scenarios(quick bool) error {
 			fmt.Sprintf("%.1fMB", p.RepairEgressMB),
 			p.SubsetRetries, p.Failovers, p.USDPerTBMonth, p.DegradedPremiumUSD)
 		_ = path
+	}
+	if quick {
+		fmt.Println("(-quick: smoke sizing at 8x link speed; compare quick points to quick points)")
+	}
+	return nil
+}
+
+func scrubScenarios(quick bool) error {
+	matrix := scenario.ScrubMatrix(quick)
+	fmt.Println("Scrub scenarios: cloud 0 silently tampers with a third of its stored")
+	fmt.Println("shares; a timed scrub pass must detect 100% of the damage, per-user")
+	fmt.Println("repair schedulers re-disperse the affected stripes, and the restores")
+	fmt.Println("that follow must run retry-free. Points append to BENCH_scrub_*.json.")
+	fmt.Printf("%-12s %-9s %-10s %-9s %-10s %-9s %-9s %-7s\n",
+		"Scenario", "Logical", "Detect", "Damaged", "RepairDL", "ReadAmp", "Rstr", "Retry")
+	for _, cfg := range matrix {
+		p, _, err := scenario.RunAndAppend(cfg, ".")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %-9s %-10s %-9d %-10s %-9s %-9s %-7d\n",
+			cfg.Name(),
+			fmt.Sprintf("%.0fMB", p.LogicalMB),
+			fmt.Sprintf("%.1fms", p.ScrubDetectionMS),
+			p.ScrubDamagedEntries,
+			fmt.Sprintf("%.1fMB", p.RepairEgressMB),
+			fmt.Sprintf("%.2fx", p.RepairReadAmp),
+			fmt.Sprintf("%.1fMB/s", p.RestoreMBps),
+			p.SubsetRetries)
 	}
 	if quick {
 		fmt.Println("(-quick: smoke sizing at 8x link speed; compare quick points to quick points)")

@@ -9,6 +9,12 @@
 //	    list
 //	    delete  <remote-path>
 //	    repair  <remote-path> <cloud-index>
+//	    scrub   status <cloud-index> | run <cloud-index> | heal
+//
+// "scrub status" prints one cloud's damage inventory, "scrub run"
+// drives a synchronous integrity pass there, and "scrub heal" runs one
+// repair-scheduler round: every cloud is polled and this user's
+// affected files are proactively re-dispersed to full (n,k) health.
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 	"time"
 
 	"cdstore/internal/client"
+	"cdstore/internal/protocol"
+	"cdstore/internal/scrub/scheduler"
 )
 
 func main() {
@@ -35,7 +43,7 @@ func main() {
 	flag.Parse()
 	addrs := strings.Split(*servers, ",")
 	if *servers == "" || flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: cdstore-client -servers a,b,c,d [-user N] <backup|restore|list|delete|repair> ...")
+		fmt.Fprintln(os.Stderr, "usage: cdstore-client -servers a,b,c,d [-user N] <backup|restore|list|delete|repair|scrub> ...")
 		os.Exit(2)
 	}
 	n := len(addrs)
@@ -131,6 +139,63 @@ func main() {
 		}
 		fmt.Printf("repaired %s on cloud %d: %d secrets, %d shares rebuilt (%d bytes)\n",
 			args[1], idx, stats.Secrets, stats.SharesRebuilt, stats.BytesReuploads)
+	case "scrub":
+		if len(args) < 2 {
+			log.Fatal("usage: scrub status <cloud-index> | run <cloud-index> | heal")
+		}
+		switch args[1] {
+		case "status", "run":
+			if len(args) != 3 {
+				log.Fatalf("usage: scrub %s <cloud-index>", args[1])
+			}
+			idx, err := strconv.Atoi(args[2])
+			if err != nil {
+				log.Fatalf("bad cloud index: %v", err)
+			}
+			if args[1] == "run" {
+				if err := c.ScrubControl(idx, protocol.ScrubOpRunPass); err != nil {
+					log.Fatalf("scrub run: %v", err)
+				}
+			}
+			rep, err := c.ScrubStatus(idx)
+			if err != nil {
+				log.Fatalf("scrub status: %v", err)
+			}
+			fmt.Printf("cloud %d scrub: %d passes, %d containers / %d entries verified (%d bytes), paused=%v\n",
+				idx, rep.Passes, rep.ContainersScanned, rep.EntriesVerified, rep.BytesScanned, rep.Paused)
+			fmt.Printf("  damage: %d containers, %d entries found, %d quarantined, %d recipes lost, %d outstanding, %d repaired\n",
+				rep.DamagedContainers, rep.DamagedEntries, rep.QuarantinedShares, rep.LostRecipes,
+				rep.DamagedOutstanding, rep.RepairedShares)
+			for _, af := range rep.Affected {
+				detail := fmt.Sprintf("%d damaged shares", len(af.Damaged))
+				if af.RecipeLost {
+					detail = "recipe lost"
+				}
+				fmt.Printf("  affected: user %d %s (%s)\n", af.UserID, af.Path, detail)
+			}
+		case "heal":
+			sch := scheduler.New(scheduler.Config{Client: c, N: n, Concurrency: 2, TriggerPass: true})
+			round, err := sch.RunOnce()
+			if err != nil {
+				log.Fatalf("scrub heal: %v", err)
+			}
+			for _, o := range round.Outcomes {
+				kind := "targeted"
+				if o.Full {
+					kind = "full"
+				}
+				if o.Err != nil {
+					fmt.Printf("  cloud %d %s: %s repair FAILED: %v\n", o.Cloud, o.Path, kind, o.Err)
+					continue
+				}
+				fmt.Printf("  cloud %d %s: %s repair, %d shares rebuilt (%d bytes up, %d down)\n",
+					o.Cloud, o.Path, kind, o.SharesRebuilt, o.BytesReuploaded, o.BytesDownloaded)
+			}
+			fmt.Printf("healed: %d clouds polled, %d busy, %d down, %d files skipped (other users/encoded paths), %d repairs\n",
+				round.CloudsPolled, round.CloudsBusy, round.CloudsDown, round.SkippedFiles, len(round.Outcomes))
+		default:
+			log.Fatalf("unknown scrub subcommand %q", args[1])
+		}
 	default:
 		log.Fatalf("unknown command %q", args[0])
 	}

@@ -27,11 +27,13 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", ":9000", "address to listen on")
-		cloud  = flag.Int("cloud", 0, "cloud index (0..n-1)")
-		n      = flag.Int("n", 4, "total number of clouds")
-		k      = flag.Int("k", 3, "reconstruction threshold")
-		dir    = flag.String("dir", "cdstore-data", "data directory (index + containers)")
+		listen      = flag.String("listen", ":9000", "address to listen on")
+		cloud       = flag.Int("cloud", 0, "cloud index (0..n-1)")
+		n           = flag.Int("n", 4, "total number of clouds")
+		k           = flag.Int("k", 3, "reconstruction threshold")
+		dir         = flag.String("dir", "cdstore-data", "data directory (index + containers)")
+		scrubEvery  = flag.Duration("scrub-interval", 0, "background integrity-scrub pass cadence (0 disables the loop; explicit passes via the protocol still work)")
+		scrubBudget = flag.Int64("scrub-budget", 0, "scrub scan I/O budget in bytes/sec (0 = unthrottled)")
 	)
 	flag.Parse()
 
@@ -40,11 +42,13 @@ func main() {
 		log.Fatalf("opening backend: %v", err)
 	}
 	srv, err := server.New(server.Config{
-		CloudIndex: *cloud,
-		N:          *n,
-		K:          *k,
-		IndexDir:   filepath.Join(*dir, "index"),
-		Backend:    backend,
+		CloudIndex:             *cloud,
+		N:                      *n,
+		K:                      *k,
+		IndexDir:               filepath.Join(*dir, "index"),
+		Backend:                backend,
+		ScrubInterval:          *scrubEvery,
+		ScrubBudgetBytesPerSec: *scrubBudget,
 	})
 	if err != nil {
 		log.Fatalf("starting server: %v", err)

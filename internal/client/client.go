@@ -197,6 +197,45 @@ func (c *Client) AvailableClouds() []int {
 // Scheme returns the dispersal scheme in use.
 func (c *Client) Scheme() secretshare.Scheme { return c.scheme }
 
+// UserID returns the user this client authenticates as.
+func (c *Client) UserID() uint64 { return c.opts.UserID }
+
+// ScrubStatus fetches one cloud's scrub report: scrubber counters, the
+// outstanding damage inventory, and the files it affects.
+func (c *Client) ScrubStatus(cloud int) (*protocol.ScrubReport, error) {
+	cc, err := c.cloudConnAt(cloud)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := cc.call(protocol.MsgScrubStatus, nil, protocol.MsgScrubReport)
+	if err != nil {
+		return nil, err
+	}
+	return protocol.DecodeScrubReport(reply)
+}
+
+// ScrubControl drives one cloud's scrubber (protocol.ScrubOp*); the
+// RunPass op returns after the pass — including any quarantine — has
+// completed on the server.
+func (c *Client) ScrubControl(cloud int, op byte) error {
+	cc, err := c.cloudConnAt(cloud)
+	if err != nil {
+		return err
+	}
+	_, err = cc.call(protocol.MsgScrubControl, protocol.EncodeScrubControl(op), protocol.MsgPutOK)
+	return err
+}
+
+func (c *Client) cloudConnAt(cloud int) (*cloudConn, error) {
+	if cloud < 0 || cloud >= len(c.conns) {
+		return nil, fmt.Errorf("client: cloud index %d out of range", cloud)
+	}
+	if c.conns[cloud] == nil {
+		return nil, fmt.Errorf("client: cloud %d not connected", cloud)
+	}
+	return c.conns[cloud], nil
+}
+
 // Close sends Bye on every session and closes the connections.
 func (c *Client) Close() error {
 	var firstErr error

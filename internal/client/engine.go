@@ -59,11 +59,27 @@ type restoreEngine struct {
 	window      int
 	windowBytes int // 0: count-only windows
 
+	// seqs restricts the engine to a subset of secret sequence numbers
+	// (sorted); nil processes the whole file. count is the number of
+	// pipeline positions: len(seqs) when restricted, numSecrets otherwise.
+	// Targeted repairs (RepairEntries) re-read only affected stripes.
+	seqs  []uint64
+	count uint64
+
 	// mu guards primary/spares: the fetcher reshuffles them on failover
 	// while decode workers snapshot them for subset retries.
 	mu      sync.Mutex
 	primary []cloudRecipe // the k clouds windows are fetched from
 	spares  []cloudRecipe // remaining reachable clouds, promoted on failure
+
+	// suspectMu guards the container-granularity escalation state of the
+	// §3.2 retry path: containers blacklisted after serving a share that
+	// failed verification, and the fingerprints resident in them. Window
+	// assignment substitutes a healthy cloud for suspect shares instead
+	// of rediscovering the damage one brute-force retry at a time.
+	suspectMu sync.Mutex
+	blacklist map[int]map[string]bool               // cloud -> container names
+	suspects  map[int]map[metadata.Fingerprint]bool // cloud -> suspect share fps
 
 	// shareCache holds recently downloaded shares across windows, keyed
 	// by fingerprint. nil when disabled.
@@ -72,12 +88,14 @@ type restoreEngine struct {
 	secretPool secretshare.SharePool
 
 	// Hot-path counters (snapshotted into RestoreStats afterwards).
-	downloadedBytes atomic.Int64
-	cacheHitBytes   atomic.Int64
-	subsetRetries   atomic.Int64
-	failovers       atomic.Int64
-	written         int64 // writer-goroutine only
-	secrets         int64 // writer-goroutine only
+	downloadedBytes     atomic.Int64
+	cacheHitBytes       atomic.Int64
+	subsetRetries       atomic.Int64
+	failovers           atomic.Int64
+	containerBlacklists atomic.Int64
+	suspectSkips        atomic.Int64
+	written             int64 // writer-goroutine only
+	secrets             int64 // writer-goroutine only
 }
 
 // newRestoreEngine fetches the per-cloud recipes for path from every
@@ -116,6 +134,7 @@ func (c *Client) newRestoreEngine(path string, exclude int) (*restoreEngine, err
 	e := &restoreEngine{
 		c:           c,
 		numSecrets:  numSecrets,
+		count:       numSecrets,
 		fileSize:    fileSize,
 		window:      c.opts.RestoreWindow,
 		windowBytes: c.opts.RestoreWindowBytes,
@@ -126,6 +145,21 @@ func (c *Client) newRestoreEngine(path string, exclude int) (*restoreEngine, err
 		e.shareCache = cache.NewLRU(int64(c.opts.RestoreCacheBytes))
 	}
 	return e, nil
+}
+
+// restrictTo limits the engine to the given (sorted) secret sequence
+// numbers; only those stripes are fetched and decoded.
+func (e *restoreEngine) restrictTo(seqs []uint64) {
+	e.seqs = seqs
+	e.count = uint64(len(seqs))
+}
+
+// seqAt maps a pipeline position to its secret sequence number.
+func (e *restoreEngine) seqAt(pos uint64) uint64 {
+	if e.seqs == nil {
+		return pos
+	}
+	return e.seqs[pos]
 }
 
 // refRecipe returns a recipe to read per-secret sizes from (they agree
@@ -146,11 +180,33 @@ func (e *restoreEngine) clouds() []cloudRecipe {
 	return append(out, e.spares...)
 }
 
+// isSuspect reports whether a share fingerprint on a cloud sits in a
+// blacklisted container.
+func (e *restoreEngine) isSuspect(cloud int, fp metadata.Fingerprint) bool {
+	e.suspectMu.Lock()
+	defer e.suspectMu.Unlock()
+	return e.suspects[cloud][fp]
+}
+
+// markSuspect flags one share fingerprint on one cloud as suspect.
+func (e *restoreEngine) markSuspect(cloud int, fp metadata.Fingerprint) {
+	e.suspectMu.Lock()
+	if e.suspects == nil {
+		e.suspects = make(map[int]map[metadata.Fingerprint]bool)
+	}
+	if e.suspects[cloud] == nil {
+		e.suspects[cloud] = make(map[metadata.Fingerprint]bool)
+	}
+	e.suspects[cloud][fp] = true
+	e.suspectMu.Unlock()
+}
+
 // decodeJob is one secret heading into the decode worker pool. shares
 // maps cloud index -> share bytes; the byte slices may be shared between
 // jobs (deduplicated fetches) and must be treated read-only.
 type decodeJob struct {
-	seq        uint64
+	pos        uint64 // pipeline position (ordering key)
+	seq        uint64 // secret sequence number (recipe key)
 	secretSize int
 	shares     map[int][]byte
 }
@@ -159,6 +215,7 @@ type decodeJob struct {
 // data is drawn from the engine's secret pool (or plainly allocated on
 // the brute-force retry path; the pool absorbs either).
 type decodedSecret struct {
+	pos     uint64
 	seq     uint64
 	data    []byte
 	retried bool
@@ -167,34 +224,36 @@ type decodedSecret struct {
 // stats assembles the public RestoreStats from the engine counters.
 func (e *restoreEngine) stats() *RestoreStats {
 	return &RestoreStats{
-		Bytes:           e.written,
-		Secrets:         e.secrets,
-		DownloadedBytes: e.downloadedBytes.Load(),
-		CacheHitBytes:   e.cacheHitBytes.Load(),
-		SubsetRetries:   e.subsetRetries.Load(),
-		Failovers:       e.failovers.Load(),
+		Bytes:                 e.written,
+		Secrets:               e.secrets,
+		DownloadedBytes:       e.downloadedBytes.Load(),
+		CacheHitBytes:         e.cacheHitBytes.Load(),
+		SubsetRetries:         e.subsetRetries.Load(),
+		Failovers:             e.failovers.Load(),
+		ContainersBlacklisted: e.containerBlacklists.Load(),
+		SuspectShareSkips:     e.suspectSkips.Load(),
 	}
 }
 
 // windowEnd returns the exclusive end of the pipeline window starting at
-// start: at most e.window secrets, and — when a byte budget is set —
-// closing early once cumulative secret bytes reach it. At least one
-// secret is always admitted, so a single secret larger than the budget
-// forms a window of its own rather than stalling the pipeline.
+// position start: at most e.window secrets, and — when a byte budget is
+// set — closing early once cumulative secret bytes reach it. At least
+// one secret is always admitted, so a single secret larger than the
+// budget forms a window of its own rather than stalling the pipeline.
 func (e *restoreEngine) windowEnd(start uint64) uint64 {
 	end := start + uint64(e.window)
-	if end > e.numSecrets {
-		end = e.numSecrets
+	if end > e.count {
+		end = e.count
 	}
 	if e.windowBytes <= 0 {
 		return end
 	}
 	recipe := e.refRecipe()
 	acc := uint64(0)
-	for seq := start; seq < end; seq++ {
-		sz := uint64(recipe.Entries[seq].SecretSize)
-		if seq > start && acc+sz > uint64(e.windowBytes) {
-			return seq
+	for pos := start; pos < end; pos++ {
+		sz := uint64(recipe.Entries[e.seqAt(pos)].SecretSize)
+		if pos > start && acc+sz > uint64(e.windowBytes) {
+			return pos
 		}
 		acc += sz
 	}
@@ -205,7 +264,7 @@ func (e *restoreEngine) windowEnd(start uint64) uint64 {
 // in order. It returns after the last secret has been delivered (or the
 // first error has unwound the pipeline).
 func (e *restoreEngine) run(sink secretSink) error {
-	if e.numSecrets == 0 {
+	if e.count == 0 {
 		return nil
 	}
 	threads := e.c.opts.EncodeThreads
@@ -222,9 +281,9 @@ func (e *restoreEngine) run(sink secretSink) error {
 	// fetcher runs at most one window ahead of the slowest decoder.
 	go func() {
 		defer close(jobs)
-		for start := uint64(0); start < e.numSecrets; {
+		for start := uint64(0); start < e.count; {
 			end := e.windowEnd(start)
-			got, err := e.fetchWindow(start, end)
+			got, rows, err := e.fetchWindow(start, end)
 			if err != nil {
 				select {
 				case errCh <- err:
@@ -234,14 +293,15 @@ func (e *restoreEngine) run(sink secretSink) error {
 				return
 			}
 			recipe := e.refRecipe()
-			primary := e.clouds()[:e.c.opts.K]
-			for seq := start; seq < end; seq++ {
-				shares := make(map[int][]byte, len(primary))
-				for _, cr := range primary {
-					data, ok := got[cr.recipe.Entries[seq].ShareFP]
+			for pos := start; pos < end; pos++ {
+				row := rows[pos-start]
+				seq := e.seqAt(pos)
+				shares := make(map[int][]byte, len(row))
+				for _, ref := range row {
+					data, ok := got[ref.fp]
 					if !ok {
 						// Unreachable: fetchWindow resolved every
-						// fingerprint of every primary recipe.
+						// fingerprint of the window's assignment.
 						select {
 						case errCh <- fmt.Errorf("client: share for secret %d missing after fetch", seq):
 						default:
@@ -249,9 +309,10 @@ func (e *restoreEngine) run(sink secretSink) error {
 						cancel()
 						return
 					}
-					shares[cr.cloud] = data
+					shares[ref.cloud] = data
 				}
 				job := decodeJob{
+					pos:        pos,
 					seq:        seq,
 					secretSize: int(recipe.Entries[seq].SecretSize),
 					shares:     shares,
@@ -281,7 +342,7 @@ func (e *restoreEngine) run(sink secretSink) error {
 					return
 				}
 				select {
-				case results <- decodedSecret{seq: job.seq, data: secret, retried: retried}:
+				case results <- decodedSecret{pos: job.pos, seq: job.seq, data: secret, retried: retried}:
 				case <-done:
 					return
 				}
@@ -289,15 +350,16 @@ func (e *restoreEngine) run(sink secretSink) error {
 		}()
 	}
 
-	// In-order writer (this goroutine): reorder, deliver, recycle.
+	// In-order writer (this goroutine): reorder by position, deliver,
+	// recycle.
 	pending := make(map[uint64]decodedSecret, e.window)
 	next := uint64(0)
-	for next < e.numSecrets {
+	for next < e.count {
 		select {
 		case err := <-errCh:
 			return err
 		case d := <-results:
-			pending[d.seq] = d
+			pending[d.pos] = d
 			for {
 				dn, ok := pending[next]
 				if !ok {
@@ -307,7 +369,7 @@ func (e *restoreEngine) run(sink secretSink) error {
 				if dn.retried {
 					e.subsetRetries.Add(1)
 				}
-				if err := sink(next, dn.data); err != nil {
+				if err := sink(dn.seq, dn.data); err != nil {
 					return err
 				}
 				e.written += int64(len(dn.data))
@@ -320,55 +382,135 @@ func (e *restoreEngine) run(sink secretSink) error {
 	return nil
 }
 
-// fetchWindow downloads the distinct shares every primary cloud needs
-// for secrets [start, end), in parallel across clouds, consulting the
-// cross-window share cache first. On a cloud failure it promotes a spare
-// (if any remain) and retries that slot's fetch — the mid-restore
+// shareRef names one share of one secret's assignment: which cloud
+// serves it, under which fingerprint, and its recipe size.
+type shareRef struct {
+	cloud int
+	cc    *cloudConn
+	fp    metadata.Fingerprint
+	size  int
+}
+
+// windowAssignment picks, for each position of [start, end), the k
+// (cloud, fingerprint) pairs the decode will use: the primary clouds by
+// default, substituting a spare cloud's share wherever a primary's
+// fingerprint sits in a blacklisted container. When no healthy
+// substitute remains the suspect share is kept — the decode falls back
+// to the brute-force retry, exactly the pre-escalation behavior.
+func (e *restoreEngine) windowAssignment(start, end uint64) [][]shareRef {
+	e.mu.Lock()
+	primary := append([]cloudRecipe(nil), e.primary...)
+	spares := append([]cloudRecipe(nil), e.spares...)
+	e.mu.Unlock()
+
+	rows := make([][]shareRef, 0, end-start)
+	for pos := start; pos < end; pos++ {
+		seq := e.seqAt(pos)
+		row := make([]shareRef, 0, len(primary))
+		for _, cr := range primary {
+			ent := &cr.recipe.Entries[seq]
+			if e.isSuspect(cr.cloud, ent.ShareFP) {
+				substituted := false
+				for _, sp := range spares {
+					sent := &sp.recipe.Entries[seq]
+					if e.isSuspect(sp.cloud, sent.ShareFP) {
+						continue
+					}
+					taken := false
+					for _, r := range row {
+						if r.cloud == sp.cloud {
+							taken = true
+							break
+						}
+					}
+					if taken {
+						continue
+					}
+					row = append(row, shareRef{cloud: sp.cloud, cc: sp.cc, fp: sent.ShareFP, size: int(sent.ShareSize)})
+					e.suspectSkips.Add(1)
+					substituted = true
+					break
+				}
+				if substituted {
+					continue
+				}
+			}
+			row = append(row, shareRef{cloud: cr.cloud, cc: cr.cc, fp: ent.ShareFP, size: int(ent.ShareSize)})
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// fetchWindow downloads the distinct shares the window's assignment
+// needs for positions [start, end), in parallel across clouds,
+// consulting the cross-window share cache first. On a cloud failure it
+// promotes a spare into failed primary slots (dropping failed spares
+// outright) and retries with a fresh assignment — the mid-restore
 // failover path — before giving up. The returned map resolves every
-// fingerprint any primary recipe references in the window.
-func (e *restoreEngine) fetchWindow(start, end uint64) (map[metadata.Fingerprint][]byte, error) {
+// fingerprint the returned assignment references.
+func (e *restoreEngine) fetchWindow(start, end uint64) (map[metadata.Fingerprint][]byte, [][]shareRef, error) {
 	var gotMu sync.Mutex
 	got := make(map[metadata.Fingerprint][]byte, (end-start)*uint64(e.c.opts.K)/2)
 	for {
-		e.mu.Lock()
-		primary := append([]cloudRecipe(nil), e.primary...)
-		e.mu.Unlock()
+		rows := e.windowAssignment(start, end)
 
-		type slotErr struct {
-			slot int
-			err  error
+		// Bucket the assignment's references per serving cloud.
+		perCloud := make(map[int][]shareRef)
+		conns := make(map[int]*cloudConn)
+		for _, row := range rows {
+			for _, ref := range row {
+				perCloud[ref.cloud] = append(perCloud[ref.cloud], ref)
+				conns[ref.cloud] = ref.cc
+			}
+		}
+
+		type cloudErr struct {
+			cloud int
+			err   error
 		}
 		var wg sync.WaitGroup
-		failCh := make(chan slotErr, len(primary))
-		for slot, cr := range primary {
+		failCh := make(chan cloudErr, len(perCloud))
+		for cloud, refs := range perCloud {
 			wg.Add(1)
-			go func(slot int, cr cloudRecipe) {
+			go func(cloud int, cc *cloudConn, refs []shareRef) {
 				defer wg.Done()
-				if err := e.fetchSlot(cr, start, end, &gotMu, got); err != nil {
-					failCh <- slotErr{slot: slot, err: err}
+				if err := e.fetchRefs(cc, refs, &gotMu, got); err != nil {
+					failCh <- cloudErr{cloud: cloud, err: err}
 				}
-			}(slot, cr)
+			}(cloud, conns[cloud], refs)
 		}
 		wg.Wait()
 		close(failCh)
 
-		var failed []slotErr
+		failed := make(map[int]error)
 		for fe := range failCh {
-			failed = append(failed, fe)
+			failed[fe.cloud] = fe.err
 		}
 		if len(failed) == 0 {
-			return got, nil
+			return got, rows, nil
 		}
-		// Promote spares into the failed slots; without enough spares the
-		// window — and the restore — fails.
+		// Drop failed spares; promote spares into failed primary slots.
+		// Without enough spares the window — and the restore — fails.
 		e.mu.Lock()
-		for _, fe := range failed {
+		live := e.spares[:0]
+		for _, sp := range e.spares {
+			if _, bad := failed[sp.cloud]; !bad {
+				live = append(live, sp)
+			}
+		}
+		e.spares = live
+		for slot, pr := range e.primary {
+			err, bad := failed[pr.cloud]
+			if !bad {
+				continue
+			}
 			if len(e.spares) == 0 {
 				e.mu.Unlock()
-				return nil, fmt.Errorf("cloud %d: %w (no spare cloud left to fail over to)",
-					primary[fe.slot].cloud, fe.err)
+				return nil, nil, fmt.Errorf("cloud %d: %w (no spare cloud left to fail over to)",
+					pr.cloud, err)
 			}
-			e.primary[fe.slot] = e.spares[0]
+			e.primary[slot] = e.spares[0]
 			e.spares = e.spares[1:]
 			e.failovers.Add(1)
 		}
@@ -376,20 +518,20 @@ func (e *restoreEngine) fetchWindow(start, end uint64) (map[metadata.Fingerprint
 	}
 }
 
-// fetchSlot resolves one cloud's distinct fingerprints for the window:
-// cache hits are reused (and counted), the rest are downloaded in
-// batches and inserted into both the window map and the cache.
-func (e *restoreEngine) fetchSlot(
-	cr cloudRecipe,
-	start, end uint64,
+// fetchRefs resolves one cloud's share references for the window: cache
+// hits are reused (and counted), the rest are downloaded in batches and
+// inserted into both the window map and the cache.
+func (e *restoreEngine) fetchRefs(
+	cc *cloudConn,
+	refs []shareRef,
 	gotMu *sync.Mutex,
 	got map[metadata.Fingerprint][]byte,
 ) error {
 	var need []metadata.Fingerprint
 	var needSize []int // recipe share sizes, for byte-bounded batches
 	gotMu.Lock()
-	for seq := start; seq < end; seq++ {
-		fp := cr.recipe.Entries[seq].ShareFP
+	for _, ref := range refs {
+		fp := ref.fp
 		if _, ok := got[fp]; ok {
 			continue
 		}
@@ -403,7 +545,7 @@ func (e *restoreEngine) fetchSlot(
 		}
 		got[fp] = nil // reserve so duplicates within the window fetch once
 		need = append(need, fp)
-		needSize = append(needSize, int(cr.recipe.Entries[seq].ShareSize))
+		needSize = append(needSize, ref.size)
 	}
 	gotMu.Unlock()
 
@@ -419,7 +561,7 @@ func (e *restoreEngine) fetchSlot(
 			batchBytes += needSize[hi]
 			hi++
 		}
-		downloads, err := fetchByFingerprint(cr.cc, need[lo:hi])
+		downloads, err := fetchByFingerprint(cc, need[lo:hi])
 		if err != nil {
 			// Un-reserve this cloud's outstanding fingerprints so the
 			// failover retry (possibly via another cloud's identical
@@ -446,6 +588,107 @@ func (e *restoreEngine) fetchSlot(
 		lo = hi
 	}
 	return nil
+}
+
+// containerQueryBatch bounds one MsgGetShareContainers request (32 bytes
+// per fingerprint, so 4096 fps is a 128KB payload).
+const containerQueryBatch = 4096
+
+// escalate hash-verifies a failed decode's in-hand shares against their
+// recipe fingerprints and escalates every mismatch to container
+// granularity (satellite of §3.2: one detected bad share condemns its
+// whole container for the rest of the restore).
+func (e *restoreEngine) escalate(job decodeJob) {
+	for _, cr := range e.clouds() {
+		data, ok := job.shares[cr.cloud]
+		if !ok {
+			continue
+		}
+		fp := cr.recipe.Entries[job.seq].ShareFP
+		if metadata.FingerprintOf(data) == fp {
+			continue
+		}
+		e.blacklistContainerOf(cr, fp)
+	}
+}
+
+// blacklistContainerOf blacklists the container holding fp on cr's cloud
+// and marks every share the restore's recipe draws from that container
+// as suspect, in one batched container-map query — so replacements for
+// all of them are fetched from healthy clouds at window granularity
+// instead of one brute-force retry per secret.
+func (e *restoreEngine) blacklistContainerOf(cr cloudRecipe, fp metadata.Fingerprint) {
+	e.markSuspect(cr.cloud, fp)
+	if e.shareCache != nil {
+		e.shareCache.Remove(string(fp[:]))
+	}
+	names, err := fetchShareContainers(cr.cc, []metadata.Fingerprint{fp})
+	if err != nil || names[0] == "" {
+		// Server can't map the share (old protocol, or already
+		// quarantined): per-fingerprint suspicion is all we get.
+		return
+	}
+	cname := names[0]
+	e.suspectMu.Lock()
+	if e.blacklist == nil {
+		e.blacklist = make(map[int]map[string]bool)
+	}
+	if e.blacklist[cr.cloud] == nil {
+		e.blacklist[cr.cloud] = make(map[string]bool)
+	}
+	if e.blacklist[cr.cloud][cname] {
+		e.suspectMu.Unlock()
+		return
+	}
+	e.blacklist[cr.cloud][cname] = true
+	e.suspectMu.Unlock()
+	e.containerBlacklists.Add(1)
+
+	distinct := make([]metadata.Fingerprint, 0, len(cr.recipe.Entries))
+	seen := make(map[metadata.Fingerprint]bool, len(cr.recipe.Entries))
+	for i := range cr.recipe.Entries {
+		f := cr.recipe.Entries[i].ShareFP
+		if !seen[f] {
+			seen[f] = true
+			distinct = append(distinct, f)
+		}
+	}
+	for lo := 0; lo < len(distinct); lo += containerQueryBatch {
+		hi := lo + containerQueryBatch
+		if hi > len(distinct) {
+			hi = len(distinct)
+		}
+		names, err := fetchShareContainers(cr.cc, distinct[lo:hi])
+		if err != nil {
+			return // best-effort: the per-secret retry still covers us
+		}
+		for i, n := range names {
+			if n != cname {
+				continue
+			}
+			e.markSuspect(cr.cloud, distinct[lo+i])
+			if e.shareCache != nil {
+				e.shareCache.Remove(string(distinct[lo+i][:]))
+			}
+		}
+	}
+}
+
+// fetchShareContainers maps share fingerprints to the containers holding
+// them on one cloud ("" = unknown there).
+func fetchShareContainers(cc *cloudConn, fps []metadata.Fingerprint) ([]string, error) {
+	reply, err := cc.call(protocol.MsgGetShareContainers, protocol.EncodeFingerprints(fps), protocol.MsgShareContainers)
+	if err != nil {
+		return nil, err
+	}
+	names, err := protocol.DecodeContainerNames(reply)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) != len(fps) {
+		return nil, fmt.Errorf("client: got %d container names, want %d", len(names), len(fps))
+	}
+	return names, nil
 }
 
 // fetchByFingerprint downloads the given share fingerprints from one
@@ -501,6 +744,11 @@ func (e *restoreEngine) decodeSecret(job decodeJob, arena *secretshare.Arena) ([
 	if !errors.Is(err, secretshare.ErrCorrupt) {
 		return nil, false, err
 	}
+	// Escalate first: recipe fingerprints make each in-hand share
+	// independently verifiable, so the offending cloud — and the whole
+	// container that served the bad bytes — can be blacklisted before the
+	// per-secret brute force runs.
+	e.escalate(job)
 	// Brute force: refetch this secret's share from EVERY reachable cloud
 	// — including those already in hand, whose copy may be a transiently
 	// corrupted download pinned in the cross-window cache — falling back

@@ -21,6 +21,7 @@ func windowTestEngine(sizes []uint32, window, windowBytes int) *restoreEngine {
 	}
 	return &restoreEngine{
 		numSecrets:  uint64(len(sizes)),
+		count:       uint64(len(sizes)),
 		window:      window,
 		windowBytes: windowBytes,
 		primary:     []cloudRecipe{{recipe: r}},

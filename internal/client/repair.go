@@ -136,3 +136,116 @@ func (c *Client) Repair(path string, failedCloud int) (*RepairStats, error) {
 	}
 	return stats, nil
 }
+
+// RepairEntries heals specific damaged shares on one cloud without
+// rebuilding the whole file: only stripes whose share fingerprints are
+// in damaged are re-read from k other clouds, re-encoded, and share
+// `cloud` re-uploaded. Convergent encoding is deterministic, so each
+// rebuilt share reproduces its recipe fingerprint exactly — the server's
+// repair-reserve path heals the damaged index entry in place and the
+// recipe is untouched (no PutRecipe round trip). The cloud's recipe must
+// still be readable there; a lost recipe needs a full Repair.
+func (c *Client) RepairEntries(path string, cloud int, damaged []metadata.Fingerprint) (*RepairStats, error) {
+	if cloud < 0 || cloud >= c.opts.N {
+		return nil, fmt.Errorf("client: cloud index %d out of range", cloud)
+	}
+	target := c.conns[cloud]
+	if target == nil {
+		return nil, fmt.Errorf("client: server for cloud %d not connected", cloud)
+	}
+	targetPath, err := c.pathForCloud(cloud, path)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := target.call(protocol.MsgGetRecipe, protocol.EncodeString(targetPath), protocol.MsgRecipe)
+	if err != nil {
+		return nil, fmt.Errorf("client: recipe for %q on cloud %d: %w (a lost recipe needs a full Repair)", path, cloud, err)
+	}
+	recipe, err := metadata.UnmarshalRecipe(reply)
+	if err != nil {
+		return nil, err
+	}
+	// One stripe per distinct damaged fingerprint: re-encoding any secret
+	// that produced the share rebuilds it (dedup means many sequence
+	// numbers can reference one share; reading one of them suffices).
+	want := make(map[metadata.Fingerprint]bool, len(damaged))
+	for _, fp := range damaged {
+		want[fp] = true
+	}
+	var seqs []uint64
+	for seq := range recipe.Entries {
+		fp := recipe.Entries[seq].ShareFP
+		if want[fp] {
+			delete(want, fp)
+			seqs = append(seqs, uint64(seq))
+		}
+	}
+	stats := &RepairStats{}
+	if len(seqs) == 0 {
+		return stats, nil
+	}
+	e, err := c.newRestoreEngine(path, cloud)
+	if err != nil {
+		return nil, err
+	}
+	e.restrictTo(seqs)
+
+	arena := secretshare.NewArenaWithPool(&c.sharePool)
+	var batch []protocol.ShareUpload
+	batchBytes := 0
+	recycleBatch := func() {
+		for i := range batch {
+			c.sharePool.Put(batch[i].Data)
+		}
+		batch = batch[:0]
+		batchBytes = 0
+	}
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		_, err := target.call(protocol.MsgPutShares, protocol.EncodeShareBatch(batch), protocol.MsgPutOK)
+		recycleBatch()
+		return err
+	}
+	err = e.run(func(seq uint64, secret []byte) error {
+		shares, serr := secretshare.SplitWithArena(c.scheme, secret, arena)
+		if serr != nil {
+			return fmt.Errorf("re-encode secret %d: %w", seq, serr)
+		}
+		sh := shares[cloud]
+		fp := metadata.FingerprintOf(sh)
+		for i, s := range shares {
+			if i == cloud {
+				continue
+			}
+			c.sharePool.Put(s) // only the rebuilt cloud's share travels
+		}
+		if fp != recipe.Entries[seq].ShareFP {
+			c.sharePool.Put(sh)
+			return fmt.Errorf("client: re-encoded share of secret %d does not reproduce its recipe fingerprint", seq)
+		}
+		stats.Secrets++
+		batch = append(batch, protocol.ShareUpload{
+			SecretSeq:  seq,
+			SecretSize: uint32(len(secret)),
+			Data:       sh,
+		})
+		batchBytes += len(sh)
+		stats.SharesRebuilt++
+		stats.BytesReuploads += int64(len(sh))
+		if batchBytes >= protocol.BatchBytes {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		recycleBatch()
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	stats.Restore = *e.stats()
+	return stats, nil
+}

@@ -24,6 +24,13 @@ type RestoreStats struct {
 	// Failovers counts primary clouds replaced by spares mid-restore
 	// after a fetch failure (possible while more than k clouds are up).
 	Failovers int64
+	// ContainersBlacklisted counts storage containers condemned at
+	// container granularity after one of their shares failed hash
+	// verification mid-restore.
+	ContainersBlacklisted int64
+	// SuspectShareSkips counts shares substituted from another cloud
+	// because their fingerprint lay in a blacklisted container.
+	SuspectShareSkips int64
 }
 
 // Restore downloads the named backup from any k available clouds and

@@ -135,6 +135,12 @@ func Unmarshal(name string, data []byte) (*Container, error) {
 		UserID: binary.BigEndian.Uint64(body[6:]),
 	}
 	count := int(binary.BigEndian.Uint32(body[14:]))
+	// Bound the pre-allocation by what the buffer could possibly hold:
+	// every entry costs at least its fixed overhead, so a count field
+	// larger than this is corrupt and must not size the allocation below.
+	if maxCount := (len(body) - headerSize) / entryOverhead; count > maxCount {
+		return nil, fmt.Errorf("%w: entry count %d exceeds container size", ErrCorrupt, count)
+	}
 	p := headerSize
 	c.Entries = make([]Entry, 0, count)
 	for i := 0; i < count; i++ {

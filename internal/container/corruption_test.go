@@ -1,0 +1,147 @@
+package container
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"cdstore/internal/metadata"
+)
+
+// corruptionContainer builds a small share container with three entries
+// of distinct sizes and returns it alongside its serialization.
+func corruptionContainer(t *testing.T) (*Container, []byte) {
+	t.Helper()
+	c := &Container{Name: "share-u7-000000000001", Type: ShareContainer, UserID: 7}
+	for i, sz := range []int{64, 1, 300} {
+		var e Entry
+		e.Key[0] = byte(i + 1)
+		e.Key[31] = 0xA0 | byte(i)
+		e.Data = make([]byte, sz)
+		for j := range e.Data {
+			e.Data[j] = byte(i*31 + j)
+		}
+		c.Entries = append(c.Entries, e)
+	}
+	return c, c.Marshal()
+}
+
+// resealCRC recomputes the trailer CRC so a structural mutation is
+// exercised on its own bounds check instead of being masked by the CRC
+// verification that runs first.
+func resealCRC(raw []byte) {
+	body := raw[:len(raw)-trailerSize]
+	binary.BigEndian.PutUint32(raw[len(raw)-trailerSize:], crc32.ChecksumIEEE(body))
+}
+
+// TestUnmarshalOversizedEntryLength: an entry whose length field claims
+// more bytes than the buffer holds must fail cleanly (no over-read, no
+// panic) even when the CRC has been resealed over the lie.
+func TestUnmarshalOversizedEntryLength(t *testing.T) {
+	_, good := corruptionContainer(t)
+	// The length field of entry 0 sits right after its fingerprint key.
+	lenOff := headerSize + metadata.FingerprintSize
+	for _, bogus := range []uint32{
+		uint32(len(good)), // just past the buffer
+		1 << 30,           // wildly oversized
+		0xFFFFFFFF,        // overflows a signed 32-bit add
+	} {
+		raw := append([]byte(nil), good...)
+		binary.BigEndian.PutUint32(raw[lenOff:], bogus)
+		resealCRC(raw)
+		_, err := Unmarshal("share-u7-000000000001", raw)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("length field %d: err = %v, want ErrCorrupt", bogus, err)
+		}
+	}
+}
+
+// TestUnmarshalOversizedEntryCount: a header entry count far beyond what
+// the buffer could hold must be rejected before it sizes an allocation.
+func TestUnmarshalOversizedEntryCount(t *testing.T) {
+	_, good := corruptionContainer(t)
+	for _, bogus := range []uint32{4, 1 << 20, 0xFFFFFFFF} {
+		raw := append([]byte(nil), good...)
+		binary.BigEndian.PutUint32(raw[14:], bogus)
+		resealCRC(raw)
+		_, err := Unmarshal("share-u7-000000000001", raw)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("count field %d: err = %v, want ErrCorrupt", bogus, err)
+		}
+	}
+	// An *undersized* count leaves trailing bytes — also corrupt, never
+	// silently dropped entries.
+	raw := append([]byte(nil), good...)
+	binary.BigEndian.PutUint32(raw[14:], 2)
+	resealCRC(raw)
+	if _, err := Unmarshal("share-u7-000000000001", raw); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("undersized count: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestUnmarshalTruncatedTrailer cuts into and through the 4-byte CRC
+// trailer: every prefix of a valid container, from one byte short of
+// full down to the empty buffer, must fail with ErrCorrupt — a
+// truncated trailer can never verify, and no truncation point may
+// panic or succeed.
+func TestUnmarshalTruncatedTrailer(t *testing.T) {
+	_, good := corruptionContainer(t)
+	for cut := len(good) - 1; cut >= 0; cut-- {
+		_, err := Unmarshal("share-u7-000000000001", good[:cut])
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d of %d bytes: err = %v, want ErrCorrupt", cut, len(good), err)
+		}
+	}
+	if c, err := Unmarshal("share-u7-000000000001", good); err != nil || len(c.Entries) != 3 {
+		t.Fatalf("pristine buffer failed after sweep: %v", err)
+	}
+}
+
+// TestUnmarshalCRCMismatchEveryByte flips each byte of the serialization
+// in turn; every single-byte flip must be caught (by the CRC or a
+// structural check), covering body and trailer corruption alike.
+func TestUnmarshalCRCMismatchEveryByte(t *testing.T) {
+	_, good := corruptionContainer(t)
+	for i := range good {
+		raw := append([]byte(nil), good...)
+		raw[i] ^= 0x01
+		if _, err := Unmarshal("share-u7-000000000001", raw); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at byte %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+// TestTamperEntriesIsCRCValid: TamperEntries must produce silent
+// corruption — structurally valid, CRC-passing, parseable — that only
+// content re-fingerprinting can catch, changing exactly the stride-th
+// entries and reporting their keys.
+func TestTamperEntriesIsCRCValid(t *testing.T) {
+	orig, good := corruptionContainer(t)
+	raw, changed := TamperEntries(orig.Name, good, 2, 0x5A)
+	if len(changed) != 2 { // entries 0 and 2 of 3
+		t.Fatalf("stride 2 over 3 entries changed %d, want 2", len(changed))
+	}
+	c, err := Unmarshal(orig.Name, raw)
+	if err != nil {
+		t.Fatalf("tampered container must stay parseable: %v", err)
+	}
+	for i := range c.Entries {
+		same := string(c.Entries[i].Data) == string(orig.Entries[i].Data)
+		if i%2 == 0 && same {
+			t.Fatalf("entry %d should have been tampered", i)
+		}
+		if i%2 != 0 && !same {
+			t.Fatalf("entry %d should be untouched", i)
+		}
+		if c.Entries[i].Key != orig.Entries[i].Key {
+			t.Fatalf("entry %d key changed: tamper must be silent", i)
+		}
+	}
+	// Unparseable input passes through unchanged with no reported keys.
+	junk := []byte("not a container")
+	out, changed := TamperEntries("x", junk, 1, 0xFF)
+	if string(out) != string(junk) || changed != nil {
+		t.Fatal("unparseable input must be returned unchanged")
+	}
+}

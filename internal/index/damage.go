@@ -1,0 +1,78 @@
+package index
+
+import (
+	"cdstore/internal/metadata"
+)
+
+// This file holds the scrub/repair side of the share index: marking
+// entries whose container bytes failed integrity verification, listing
+// them for the repair scheduler, and counting completed repairs.
+//
+// A damaged entry keeps its Refs map — every recipe referencing the
+// share stays valid, only the bytes are gone — and loses its Container
+// reference (the scrubber quarantines or deletes the bytes before
+// marking). TryReserveShare treats such an entry as reservable, so the
+// first repair upload of the fingerprint re-places the bytes through the
+// normal reserve/append/commit path and clears the flag at commit.
+
+// MarkSharesDamaged flags the committed entries for fps as damaged and
+// drops their container references. Fingerprints that are unindexed or
+// hold an in-flight reservation are skipped (a reservation means a fresh
+// upload of the bytes is already in progress), as are entries already
+// flagged. It returns the number of entries newly marked.
+func (ix *Index) MarkSharesDamaged(fps []metadata.Fingerprint) (int, error) {
+	marked := 0
+	for s, group := range groupByShard(fps) {
+		if len(group) == 0 {
+			continue
+		}
+		sh := ix.shards[s]
+		sh.mu.Lock()
+		for _, fp := range group {
+			if _, inflight := sh.pending[fp]; inflight {
+				continue
+			}
+			e, err := sh.lookupLocked(fp)
+			if err == ErrNotFound {
+				continue
+			}
+			if err != nil {
+				sh.mu.Unlock()
+				return marked, err
+			}
+			if e.Damaged {
+				continue
+			}
+			e.Damaged = true
+			e.Container = ""
+			if err := sh.putLocked(e); err != nil {
+				sh.mu.Unlock()
+				return marked, err
+			}
+			marked++
+		}
+		sh.mu.Unlock()
+	}
+	return marked, nil
+}
+
+// DamagedShares returns every entry currently flagged as damaged, shard
+// by shard. The repair scheduler maps these to affected files.
+func (ix *Index) DamagedShares() ([]*ShareEntry, error) {
+	var out []*ShareEntry
+	err := ix.ScanShares(func(e *ShareEntry) error {
+		if e.Damaged {
+			out = append(out, e)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// RepairedShares returns the number of damaged entries healed since open:
+// reservations won against a damaged entry that subsequently committed
+// fresh bytes. The e2e acceptance assertion "re-dispersed to full (n,k)
+// health" pins this counter against the damage count.
+func (ix *Index) RepairedShares() uint64 {
+	return ix.repairs.Load()
+}

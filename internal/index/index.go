@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"cdstore/internal/lsmkv"
 	"cdstore/internal/metadata"
@@ -47,6 +48,13 @@ type ShareEntry struct {
 	Size        uint32
 	// Refs maps owning user ID -> reference count.
 	Refs map[uint64]uint32
+	// Damaged marks a share whose container bytes failed scrub
+	// verification (or whose container was lost). The ownership state in
+	// Refs stays valid — recipes referencing the share are intact — but
+	// the bytes need re-dispersal: TryReserveShare treats a damaged entry
+	// as reservable so a repair upload can re-place the bytes and clear
+	// the flag at commit.
+	Damaged bool
 }
 
 // FileEntry describes one uploaded file of one user.
@@ -65,6 +73,10 @@ type FileEntry struct {
 type pendingShare struct {
 	entry *ShareEntry
 	done  chan struct{}
+	// repair marks a reservation won against a damaged committed entry
+	// (re-placing lost bytes rather than storing a new share); commit
+	// counts it in Index.RepairedShares.
+	repair bool
 }
 
 // shard is one lock stripe of the share index.
@@ -80,8 +92,9 @@ type shard struct {
 
 // Index wraps the LSM stores with the two CDStore indices.
 type Index struct {
-	shards [NumShards]*shard
-	files  *lsmkv.DB
+	shards  [NumShards]*shard
+	files   *lsmkv.DB
+	repairs atomic.Uint64 // damaged entries healed (see RepairedShares)
 }
 
 // ErrNotFound is returned for absent entries.
@@ -211,8 +224,12 @@ func fileKey(userID uint64, path string) []byte {
 
 // --- share entry codec ---
 
+// shareFlagDamaged is the bit MarkSharesDamaged sets in the optional
+// trailing flags byte of a persisted share entry.
+const shareFlagDamaged = 1 << 0
+
 func marshalShareEntry(e *ShareEntry) []byte {
-	out := make([]byte, 0, 4+len(e.Container)+4+4+len(e.Refs)*12)
+	out := make([]byte, 0, 4+len(e.Container)+4+4+len(e.Refs)*12+1)
 	out = binary.BigEndian.AppendUint32(out, uint32(len(e.Container)))
 	out = append(out, e.Container...)
 	out = binary.BigEndian.AppendUint32(out, e.Size)
@@ -220,6 +237,12 @@ func marshalShareEntry(e *ShareEntry) []byte {
 	for u, c := range e.Refs {
 		out = binary.BigEndian.AppendUint64(out, u)
 		out = binary.BigEndian.AppendUint32(out, c)
+	}
+	// Flags ride in an optional trailing byte so entries persisted before
+	// the field existed (no byte) still decode; it is only written when a
+	// flag is set, keeping the common healthy entry at its old size.
+	if e.Damaged {
+		out = append(out, shareFlagDamaged)
 	}
 	return out
 }
@@ -238,7 +261,15 @@ func unmarshalShareEntry(fp metadata.Fingerprint, src []byte) (*ShareEntry, erro
 	e.Size = binary.BigEndian.Uint32(src[p:])
 	count := int(binary.BigEndian.Uint32(src[p+4:]))
 	p += 8
-	if len(src)-p != count*12 {
+	switch len(src) - p {
+	case count * 12: // legacy layout, no flags byte
+	case count*12 + 1:
+		flags := src[len(src)-1]
+		if flags&^byte(shareFlagDamaged) != 0 {
+			return nil, fmt.Errorf("index: unknown share entry flags %#x", flags)
+		}
+		e.Damaged = flags&shareFlagDamaged != 0
+	default:
 		return nil, fmt.Errorf("index: corrupt share refs")
 	}
 	e.Refs = make(map[uint64]uint32, count)

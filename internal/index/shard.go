@@ -64,6 +64,25 @@ func (ix *Index) TryReserveShare(fp metadata.Fingerprint, userID uint64, size ui
 	e, lerr := sh.lookupLocked(fp)
 	switch {
 	case lerr == nil:
+		if e.Damaged {
+			// Repair-reserve: the fingerprint is indexed but its bytes
+			// failed scrub verification. The uploader re-places the bytes;
+			// the existing Refs map is preserved (other users' recipes
+			// still reference the share) and the damaged flag clears when
+			// the fresh bytes commit. An abort leaves the persisted entry
+			// damaged, so the next upload retries the repair.
+			if _, owned := e.Refs[userID]; !owned {
+				e.Refs[userID] = 0
+			}
+			e.Damaged = false
+			e.Container = ""
+			sh.pending[fp] = &pendingShare{
+				entry:  e,
+				done:   make(chan struct{}),
+				repair: true,
+			}
+			return StatusReserved, nil
+		}
 		if _, owned := e.Refs[userID]; !owned {
 			e.Refs[userID] = 0
 			return StatusDuplicate, sh.putLocked(e)
@@ -140,7 +159,13 @@ func (ix *Index) CommitShare(fp metadata.Fingerprint, containerName string) erro
 	delete(sh.pending, fp)
 	close(pe.done)
 	pe.entry.Container = containerName
-	return sh.putLocked(pe.entry)
+	if err := sh.putLocked(pe.entry); err != nil {
+		return err
+	}
+	if pe.repair {
+		ix.repairs.Add(1)
+	}
+	return nil
 }
 
 // CommitShares is the batched form of CommitShare the server's put path
@@ -194,6 +219,9 @@ func (ix *Index) CommitShares(fps []metadata.Fingerprint, containers []string) e
 			if pe, ok := sh.pending[fps[pos]]; ok {
 				delete(sh.pending, fps[pos])
 				close(pe.done)
+				if pe.repair {
+					ix.repairs.Add(1)
+				}
 			}
 		}
 		sh.mu.Unlock()

@@ -1,0 +1,92 @@
+package protocol
+
+import (
+	"reflect"
+	"testing"
+
+	"cdstore/internal/metadata"
+)
+
+func TestScrubReportRoundtrip(t *testing.T) {
+	fp1 := metadata.FingerprintOf([]byte("a"))
+	fp2 := metadata.FingerprintOf([]byte("b"))
+	r := &ScrubReport{
+		Paused:             true,
+		Passes:             3,
+		ContainersScanned:  100,
+		BytesScanned:       1 << 30,
+		EntriesVerified:    5000,
+		DamagedContainers:  2,
+		DamagedEntries:     17,
+		QuarantinedShares:  17,
+		LostRecipes:        1,
+		RepairedShares:     9,
+		DamagedOutstanding: 8,
+		InflightBytes:      123456,
+		Affected: []AffectedFile{
+			{UserID: 7, Path: "/u7/wk1", Damaged: []metadata.Fingerprint{fp1, fp2}},
+			{UserID: 9, Path: "/u9/wk2", RecipeLost: true},
+		},
+	}
+	got, err := DecodeScrubReport(EncodeScrubReport(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalize the empty-slice/nil distinction before comparing.
+	if len(got.Affected[1].Damaged) == 0 {
+		got.Affected[1].Damaged = nil
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("roundtrip mismatch:\n in: %+v\nout: %+v", r, got)
+	}
+}
+
+func TestScrubReportEmpty(t *testing.T) {
+	got, err := DecodeScrubReport(EncodeScrubReport(&ScrubReport{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Paused || got.Passes != 0 || len(got.Affected) != 0 {
+		t.Fatalf("empty roundtrip: %+v", got)
+	}
+}
+
+func TestScrubReportMalformed(t *testing.T) {
+	r := &ScrubReport{Affected: []AffectedFile{{UserID: 1, Path: "/p"}}}
+	raw := EncodeScrubReport(r)
+	for _, p := range [][]byte{nil, raw[:10], raw[:len(raw)-1], append(append([]byte(nil), raw...), 0)} {
+		if _, err := DecodeScrubReport(p); err == nil {
+			t.Fatalf("malformed payload of %d bytes accepted", len(p))
+		}
+	}
+}
+
+func TestContainerNamesRoundtrip(t *testing.T) {
+	names := []string{"share-u1-000000000003", "", "share-u2-000000000009"}
+	got, err := DecodeContainerNames(EncodeContainerNames(names))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, got) {
+		t.Fatalf("roundtrip: %v != %v", got, names)
+	}
+	if _, err := DecodeContainerNames([]byte{1, 2}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	bad := EncodeContainerNames(names)
+	if _, err := DecodeContainerNames(bad[:len(bad)-2]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestScrubControlRoundtrip(t *testing.T) {
+	for _, op := range []byte{ScrubOpRunPass, ScrubOpPause, ScrubOpResume} {
+		got, err := DecodeScrubControl(EncodeScrubControl(op))
+		if err != nil || got != op {
+			t.Fatalf("op %d: got %d err %v", op, got, err)
+		}
+	}
+	if _, err := DecodeScrubControl(nil); err == nil {
+		t.Fatal("empty control accepted")
+	}
+}

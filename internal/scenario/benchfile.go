@@ -71,6 +71,18 @@ type Point struct {
 	// AllocsPerSecret (empty on points recorded before the field
 	// existed; same schema version, old files stay readable).
 	AllocAccounting string `json:"alloc_accounting,omitempty"`
+	// ScrubDetectionMS is the wall-clock of the synchronous scrub pass
+	// (plus report assembly) that surfaced the scrub variant's injected
+	// damage — the detection latency of one full-store integrity scan.
+	// ScrubDamagedEntries is how many damaged entries that pass found;
+	// the variant asserts detection is 100% of what was injected. Both
+	// are zero outside the scrub variant.
+	ScrubDetectionMS    float64 `json:"scrub_detection_ms,omitempty"`
+	ScrubDamagedEntries int64   `json:"scrub_damaged_entries,omitempty"`
+	// RepairReadAmp is repair download bytes / re-uploaded share bytes:
+	// the read amplification of proactive re-dispersal (targeted repairs
+	// read k shares per share rebuilt, so ~k is the expected floor).
+	RepairReadAmp float64 `json:"repair_read_amp,omitempty"`
 	// USDPerTBMonth is the cost.AnalyzeMeasured figure at the canonical
 	// 1TB/week deployment with this run's measured dedup ratio and
 	// egress overheads; DegradedPremiumUSD is the egress bill beyond the
@@ -187,6 +199,16 @@ func (f *File) Validate() error {
 		case "failover":
 			if p.Failovers == 0 {
 				return fmt.Errorf("point %d: failover run promoted no spare", i)
+			}
+		case "scrub":
+			if p.ScrubDamagedEntries == 0 || p.ScrubDetectionMS <= 0 {
+				return fmt.Errorf("point %d: scrub run detected no injected damage", i)
+			}
+			if p.RepairEgressMB <= 0 || p.RepairReadAmp <= 0 {
+				return fmt.Errorf("point %d: scrub run recorded no repair re-dispersal", i)
+			}
+			if p.SubsetRetries != 0 {
+				return fmt.Errorf("point %d: scrub run restored with %d subset retries — healing was not proactive", i, p.SubsetRetries)
 			}
 		default:
 			return fmt.Errorf("unknown variant %q", variant)

@@ -21,6 +21,11 @@
 //   - failover: cloud 0's server dies mid-restore; the engine must
 //     promote the spare cloud and finish, and later users restore
 //     degraded.
+//
+// A fifth variant, scrub (run via ScrubMatrix / `cdbench scrub`),
+// exercises server-driven healing: injected silent tamper, a timed
+// scrub pass that must detect 100% of it, scheduler re-dispersal, and
+// restores that must then run retry-free.
 package scenario
 
 import (
@@ -38,6 +43,7 @@ import (
 	"cdstore/internal/container"
 	"cdstore/internal/cost"
 	"cdstore/internal/netsim"
+	"cdstore/internal/scrub/scheduler"
 	"cdstore/internal/workload"
 	"strings"
 )
@@ -53,6 +59,14 @@ const (
 	Degraded  Variant = "degraded"
 	Corrupted Variant = "corrupted"
 	Failover  Variant = "failover"
+	// Scrub is the server-driven healing variant: cloud 0 silently
+	// tampers with a fraction of its stored shares, a synchronous scrub
+	// pass must detect 100% of the damage (timed: detection latency),
+	// per-user repair schedulers re-disperse the affected stripes
+	// (measured: repair read amplification), and the subsequent restores
+	// must then run completely clean — no subset retries, because the
+	// damage was healed before any client ever read it.
+	Scrub Variant = "scrub"
 
 	FSL Profile = "fsl"
 	VM  Profile = "vm"
@@ -83,27 +97,43 @@ func Matrix(quick bool) []Config {
 	var out []Config
 	for _, v := range []Variant{Healthy, Degraded, Corrupted, Failover} {
 		for _, p := range []Profile{FSL, VM} {
-			c := Config{Variant: v, Profile: p, Quick: quick, Seed: 7}
-			if quick {
-				c.SpeedScale = 8
-				c.Users, c.Weeks = 3, 2
-				if p == FSL {
-					c.Chunks = 120
-				} else {
-					c.Chunks = 150
-				}
-			} else {
-				c.SpeedScale = 1
-				if p == FSL {
-					c.Users, c.Weeks, c.Chunks = 6, 4, 1500
-				} else {
-					c.Users, c.Weeks, c.Chunks = 12, 4, 1200
-				}
-			}
-			out = append(out, c)
+			out = append(out, sized(v, p, quick))
 		}
 	}
 	return out
+}
+
+// ScrubMatrix returns the scrub-variant scenarios (one per workload
+// profile), run by `cdbench scrub` separately from the main matrix so
+// the established trajectories keep their cadence.
+func ScrubMatrix(quick bool) []Config {
+	var out []Config
+	for _, p := range []Profile{FSL, VM} {
+		out = append(out, sized(Scrub, p, quick))
+	}
+	return out
+}
+
+// sized applies the matrix's standard quick/full workload sizing.
+func sized(v Variant, p Profile, quick bool) Config {
+	c := Config{Variant: v, Profile: p, Quick: quick, Seed: 7}
+	if quick {
+		c.SpeedScale = 8
+		c.Users, c.Weeks = 3, 2
+		if p == FSL {
+			c.Chunks = 120
+		} else {
+			c.Chunks = 150
+		}
+	} else {
+		c.SpeedScale = 1
+		if p == FSL {
+			c.Users, c.Weeks, c.Chunks = 6, 4, 1500
+		} else {
+			c.Users, c.Weeks, c.Chunks = 12, 4, 1200
+		}
+	}
+	return c
 }
 
 // scaledProfiles returns the Table-2 cloud links with every speed
@@ -229,6 +259,11 @@ func Run(cfg Config) (Point, error) {
 		p.AllocsPerSecret = float64(rr.restoreMallocs) / float64(rr.secrets)
 		p.AllocAccounting = "restore-phase"
 	}
+	p.ScrubDetectionMS = rr.scrubDetectMS
+	p.ScrubDamagedEntries = rr.scrubDamaged
+	if rr.repairReuploadedByte > 0 {
+		p.RepairReadAmp = float64(rr.repairEgressBytes) / float64(rr.repairReuploadedByte)
+	}
 
 	// ---- feed the measured volumes into the cost model ----
 	m := cost.Measured{
@@ -283,6 +318,12 @@ type restoreResult struct {
 	// AllocsPerSecret tracks the restore pipeline rather than whatever
 	// else the variant happened to run.
 	restoreMallocs int64
+	// Scrub-variant measurements: the timed detection pass, the damaged
+	// entries it surfaced, and the share bytes the schedulers wrote back
+	// (repairEgressBytes holds their read side).
+	scrubDetectMS        float64
+	scrubDamaged         int64
+	repairReuploadedByte int64
 }
 
 // measureRestores runs one restore phase with the process allocation
@@ -477,10 +518,117 @@ func runVariant(cfg Config, cl *cloud.Cluster, latest []workload.Backup) (*resto
 			return nil, err
 		}
 
+	case Scrub:
+		// Silent partial tamper on cloud 0 (every 3rd stored entry keeps
+		// containers CRC-valid), then the server-driven pipeline heals it
+		// before any client read: timed scrub pass → per-user scheduler
+		// re-dispersal → restores that must run retry-free.
+		injected, err := tamperCloudShares(cl, 0, 3)
+		if err != nil {
+			return nil, err
+		}
+		srv := cl.Clouds[0].Server
+		detectStart := time.Now()
+		pass, err := srv.RunScrubPass()
+		if err != nil {
+			return nil, err
+		}
+		rep, err := srv.ScrubReport()
+		if err != nil {
+			return nil, err
+		}
+		rr.scrubDetectMS = float64(time.Since(detectStart).Microseconds()) / 1000
+		if len(pass.Damaged) == 0 || rep.DamagedOutstanding != uint64(injected) {
+			return nil, fmt.Errorf("scrub detected %d of %d injected damaged entries",
+				rep.DamagedOutstanding, injected)
+		}
+		rr.scrubDamaged = int64(injected)
+		// The report interleaves every user's files; each user's scheduler
+		// repairs its own and skips the rest.
+		for _, b := range latest {
+			c, err := cl.Connect(uint64(b.User+1), 2, nil)
+			if err != nil {
+				return nil, fmt.Errorf("user %d scheduler connect: %w", b.User, err)
+			}
+			sch := scheduler.New(scheduler.Config{
+				Client: c, N: cl.N, Concurrency: 2, IdleThresholdBytes: 1 << 30,
+			})
+			round, rerr := sch.RunOnce()
+			c.Close()
+			if rerr != nil {
+				return nil, fmt.Errorf("user %d scheduler round: %w", b.User, rerr)
+			}
+			for _, o := range round.Outcomes {
+				if o.Err != nil {
+					return nil, fmt.Errorf("scrub repair of %s on cloud %d: %w", o.Path, o.Cloud, o.Err)
+				}
+				rr.repairEgressBytes += o.BytesDownloaded
+				rr.repairReuploadedByte += o.BytesReuploaded
+			}
+		}
+		healed, err := srv.ScrubReport()
+		if err != nil {
+			return nil, err
+		}
+		if healed.DamagedOutstanding != 0 || len(healed.Affected) != 0 {
+			return nil, fmt.Errorf("scrub repair left %d damaged entries across %d files",
+				healed.DamagedOutstanding, len(healed.Affected))
+		}
+		if err := rr.measureRestores(func() error { return restoreAll(cl, latest, rr) }); err != nil {
+			return nil, err
+		}
+		if rr.subsetRetries != 0 || rr.failovers != 0 {
+			return nil, fmt.Errorf("restores after scrub healing still hit retries=%d failovers=%d — healing was not proactive",
+				rr.subsetRetries, rr.failovers)
+		}
+
 	default:
 		return nil, fmt.Errorf("scenario: unknown variant %q", cfg.Variant)
 	}
 	return rr, nil
+}
+
+// tamperCloudShares flushes every server, then silently tampers with
+// every stride-th entry of each share container on cloud idx via
+// container.TamperEntries (CRCs stay valid, so only §3.3 re-
+// fingerprinting can catch it), drops read caches, and returns how many
+// entries were damaged.
+func tamperCloudShares(cl *cloud.Cluster, idx, stride int) (int, error) {
+	for _, c := range cl.Clouds {
+		if err := c.Server.Flush(); err != nil {
+			return 0, err
+		}
+	}
+	backend := cl.Clouds[idx].Backend
+	names, err := backend.List()
+	if err != nil {
+		return 0, err
+	}
+	injected := 0
+	for _, name := range names {
+		if !strings.HasPrefix(name, "share-") {
+			continue
+		}
+		raw, err := backend.Get(name)
+		if err != nil {
+			return 0, err
+		}
+		out, changed := container.TamperEntries(name, raw, stride, 0x5A)
+		if len(changed) == 0 {
+			continue
+		}
+		if err := backend.Put(name, out); err != nil {
+			return 0, err
+		}
+		injected += len(changed)
+	}
+	if injected == 0 {
+		return 0, fmt.Errorf("scenario: cloud %d held no shares to tamper", idx)
+	}
+	for _, c := range cl.Clouds {
+		c.Server.DropCaches()
+	}
+	return injected, nil
 }
 
 // corruptCloudShares flushes every server, tampers with every share

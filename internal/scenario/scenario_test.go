@@ -33,6 +33,11 @@ func samplePoint(variant Variant) Point {
 		p.SubsetRetries = 17
 	case Failover:
 		p.Failovers = 1
+	case Scrub:
+		p.ScrubDetectionMS = 4.2
+		p.ScrubDamagedEntries = 96
+		p.RepairEgressMB = 1.8
+		p.RepairReadAmp = 3.1
 	}
 	return p
 }
@@ -42,7 +47,7 @@ func samplePoint(variant Variant) Point {
 // drift, and the trajectory files at the repo root would stop being
 // comparable across PRs.
 func TestBenchFileSchemaRoundTrip(t *testing.T) {
-	for _, v := range []Variant{Healthy, Degraded, Corrupted, Failover} {
+	for _, v := range []Variant{Healthy, Degraded, Corrupted, Failover, Scrub} {
 		f := &File{
 			SchemaVersion: SchemaVersion,
 			Scenario:      string(v) + "_fsl",
@@ -185,6 +190,9 @@ func TestValidateCatchesVariantViolations(t *testing.T) {
 		{"degraded_vm", func(p *Point) { p.RepairEgressMB = 0 }, "repair egress"},
 		{"corrupted_fsl", func(p *Point) { p.SubsetRetries = 0 }, "subset retries"},
 		{"failover_vm", func(p *Point) { p.Failovers = 0 }, "spare"},
+		{"scrub_fsl", func(p *Point) { p.ScrubDamagedEntries = 0 }, "injected damage"},
+		{"scrub_fsl", func(p *Point) { p.RepairReadAmp = 0 }, "re-dispersal"},
+		{"scrub_vm", func(p *Point) { p.SubsetRetries = 2 }, "proactive"},
 		{"healthy_fsl", func(p *Point) { p.DedupRatio = 0.5 }, "dedup ratio"},
 		{"healthy_fsl", func(p *Point) { p.USDPerTBMonth = 0 }, "cost"},
 	}
@@ -241,6 +249,45 @@ func TestQuickMatrixProducesValidBenchFiles(t *testing.T) {
 	}
 	if len(variants) < 4 || len(profiles) < 2 {
 		t.Fatalf("matrix covers %d variants x %d profiles, want >=4 x >=2", len(variants), len(profiles))
+	}
+}
+
+// The quick scrub scenarios are the CI smoke path for server-driven
+// healing: injected tamper must be fully detected by the timed scrub
+// pass, scheduler re-dispersal must heal it, and the emitted trajectory
+// must pass the scrub-specific Validate assertions (no subset retries
+// after healing, positive read amplification).
+func TestQuickScrubMatrixProducesValidBenchFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scrub scenarios run the full 4-cloud stack twice")
+	}
+	dir := t.TempDir()
+	for _, cfg := range ScrubMatrix(true) {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			t.Parallel()
+			p, path, err := RunAndAppend(cfg, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := LoadBenchFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Validate(); err != nil {
+				t.Fatalf("emitted file invalid: %v", err)
+			}
+			if p.ScrubDamagedEntries == 0 || p.ScrubDetectionMS <= 0 {
+				t.Fatalf("no detection recorded: %+v", p)
+			}
+			// Targeted repairs read k shares per rebuilt share, so read
+			// amplification must land at or above the k/1 floor minus
+			// cache effects — anything near zero means the schedulers
+			// never re-dispersed.
+			if p.RepairReadAmp <= 1 {
+				t.Fatalf("repair read amplification %.2f, want > 1", p.RepairReadAmp)
+			}
+		})
 	}
 }
 

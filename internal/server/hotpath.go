@@ -141,6 +141,15 @@ func (f *flowLimiter) acquire(n int64) {
 	<-w.ready
 }
 
+// inflightBytes reports the payload bytes currently admitted (budget in
+// use). The scrub report exposes it so the repair scheduler can gate
+// re-dispersal on server idleness.
+func (f *flowLimiter) inflightBytes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cap - f.avail
+}
+
 // release returns n bytes of budget and grants as many FIFO waiters as
 // now fit. Only the queue head may be granted out of available budget —
 // skipping ahead would let small requests starve a large one forever.
