@@ -14,10 +14,13 @@
 // upload throughput against one server, comparing the sharded dedup
 // index with the single-global-mutex baseline.
 //
-// "encode" also goes beyond the paper: it measures the wide GF(2^8)
-// kernels against the forced-scalar baseline (single-thread
-// reedsolomon.Encode) and then drives a real n-cloud cluster through
-// full client encoding — chunk, CAONT, RS, fingerprint, dedup query,
+// "encode" also goes beyond the paper: it sweeps every GF(2^8) kernel
+// this machine can run (scalar, wide, and the SIMD levels —
+// ssse3/avx2/neon) over encode and degraded decode, appending the
+// per-kernel matrix to BENCH_kernels.json; then measures the wide
+// kernel against the forced-scalar baseline (single-thread
+// reedsolomon.Encode) and drives a real n-cloud cluster through full
+// client encoding — chunk, CAONT, RS, fingerprint, dedup query,
 // upload — reporting end-to-end MB/s.
 //
 // "restore" is the read-path twin: end-to-end restore throughput of the
@@ -51,9 +54,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"cdstore/internal/bench"
+	"cdstore/internal/gf256"
 	"cdstore/internal/scenario"
 	"cdstore/internal/workload"
 )
@@ -97,7 +102,7 @@ func main() {
 	run("fig9b", func() error { return fig9b() })
 	run("ablation", func() error { return ablation(*quick) })
 	run("sessions", func() error { return sessions(*quick) })
-	run("encode", func() error { return encode(scale(128, 16)) })
+	run("encode", func() error { return encode(scale(128, 16), *quick) })
 	run("restore", func() error { return restoreExp(scale(128, 16)) })
 	run("chunkers", func() error { return chunkers(scale(64, 8)) })
 	run("scenarios", func() error { return scenarios(*quick) })
@@ -187,7 +192,31 @@ func scrubScenarios(quick bool) error {
 	return nil
 }
 
-func encode(dataMB int) error {
+func encode(dataMB int, quick bool) error {
+	fmt.Printf("Per-kernel GF(2^8) sweep on %s (dispatched: %s): single-thread\n",
+		runtime.GOARCH, gf256.New().Kernel())
+	fmt.Println("reedsolomon Encode and degraded ReconstructDataInto at (n,k)=(4,3),")
+	fmt.Println("source-data MB/s, best of 3 rounds per cell")
+	sweepSizes := []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10}
+	if quick {
+		sweepSizes = []int{4 << 10, 64 << 10}
+	}
+	krows, err := bench.KernelSweep(4, 3, sweepSizes, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-10s %-14s %-14s\n", "Kernel", "Shard", "Encode MB/s", "Decode MB/s")
+	for _, r := range krows {
+		fmt.Printf("%-10s %-10s %-14.0f %-14.0f\n",
+			r.Kernel, fmt.Sprintf("%dKB", r.ShardBytes>>10), r.EncodeMBps, r.DecodeMBps)
+	}
+	kpath, err := bench.AppendKernelsPoint(".", bench.NewKernelsPoint(krows, quick))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("appended trajectory point to %s\n", kpath)
+	fmt.Println()
+
 	fmt.Println("Wide GF(2^8) kernel vs forced-scalar baseline: single-thread")
 	fmt.Println("reedsolomon.Encode at (n,k)=(4,3), source-data MB/s, best of 3 rounds")
 	rows, err := bench.KernelSpeed(4, 3, nil, 3)

@@ -26,9 +26,12 @@ type KernelRow struct {
 	Speedup    float64
 }
 
-// kernelCodecs builds the wide codec and its forced-scalar twin.
+// kernelCodecs builds the wide-kernel codec and its forced-scalar twin.
+// The wide field is pinned explicitly: reedsolomon.New would dispatch
+// the SIMD kernel where available, and this pair must keep measuring
+// wide-vs-scalar regardless (KernelSweep covers the per-kernel matrix).
 func kernelCodecs(n, k int) (wide, scalar *reedsolomon.Codec, err error) {
-	wide, err = reedsolomon.New(n, k)
+	wide, err = reedsolomon.NewWithField(n, k, gf256.NewWide())
 	if err != nil {
 		return nil, nil, err
 	}

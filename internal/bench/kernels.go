@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"cdstore/internal/gf256"
+	"cdstore/internal/reedsolomon"
+)
+
+// ------------------------------------------------- per-kernel sweep
+
+// KernelSpeedRow is one cell of the per-kernel sweep: single-thread
+// encode and degraded-decode throughput for one GF(2^8) kernel
+// implementation at one shard size. Throughput is source-data MB/s (k
+// shards of ShardBytes per codec call).
+type KernelSpeedRow struct {
+	Kernel     string  `json:"kernel"`
+	ShardBytes int     `json:"shard_bytes"`
+	N          int     `json:"n"`
+	K          int     `json:"k"`
+	EncodeMBps float64 `json:"encode_mbps"`
+	DecodeMBps float64 `json:"decode_mbps"`
+}
+
+// timeDecode runs degraded decode (ReconstructDataInto from the last
+// k of the n shards, so parity rows and the cached inverse-row multiply
+// do real work) until minDuration has elapsed; returns source-data MB/s.
+func timeDecode(codec *reedsolomon.Codec, shards [][]byte, minDuration time.Duration) (float64, error) {
+	n, k := codec.N(), codec.K()
+	have := make(map[int][]byte, k)
+	for i := n - k; i < n; i++ {
+		have[i] = shards[i]
+	}
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = make([]byte, len(shards[0]))
+	}
+	// Warm-up builds lazy tables and the inverse-row cache entry.
+	if err := codec.ReconstructDataInto(have, out); err != nil {
+		return 0, err
+	}
+	iters := 0
+	start := time.Now()
+	var elapsed time.Duration
+	for {
+		if err := codec.ReconstructDataInto(have, out); err != nil {
+			return 0, err
+		}
+		iters++
+		if elapsed = time.Since(start); elapsed >= minDuration {
+			break
+		}
+	}
+	dataBytes := float64(k*len(shards[0])) * float64(iters)
+	return dataBytes / (1 << 20) / elapsed.Seconds(), nil
+}
+
+// KernelSweep measures encode and degraded-decode throughput at (n, k)
+// for every kernel implementation this process can run (scalar, wide,
+// and whichever of ssse3/avx2/neon the CPU and build support), at every
+// shard size. Kernels run adjacently per size and the best of `rounds`
+// interleaved rounds is kept, so background load shifts all kernels
+// equally rather than biasing the comparison.
+func KernelSweep(n, k int, shardSizes []int, rounds int) ([]KernelSpeedRow, error) {
+	if len(shardSizes) == 0 {
+		shardSizes = []int{1 << 10, 4 << 10, 64 << 10}
+	}
+	if rounds <= 0 {
+		rounds = 3
+	}
+	names := gf256.Kernels()
+	codecs := make([]*reedsolomon.Codec, len(names))
+	for i, name := range names {
+		field, err := gf256.NewWithKernel(name)
+		if err != nil {
+			return nil, err
+		}
+		if codecs[i], err = reedsolomon.NewWithField(n, k, field); err != nil {
+			return nil, err
+		}
+	}
+	var rows []KernelSpeedRow
+	for _, size := range shardSizes {
+		base := makeShards(n, k, size, int64(size))
+		if err := codecs[0].Encode(base); err != nil {
+			return nil, err
+		}
+		sized := make([]KernelSpeedRow, len(names))
+		for i, name := range names {
+			sized[i] = KernelSpeedRow{Kernel: name, ShardBytes: size, N: n, K: k}
+		}
+		for r := 0; r < rounds; r++ {
+			for i, codec := range codecs {
+				e, err := timeEncode(codec, base, 30*time.Millisecond)
+				if err != nil {
+					return nil, err
+				}
+				d, err := timeDecode(codec, base, 30*time.Millisecond)
+				if err != nil {
+					return nil, err
+				}
+				if e > sized[i].EncodeMBps {
+					sized[i].EncodeMBps = e
+				}
+				if d > sized[i].DecodeMBps {
+					sized[i].DecodeMBps = d
+				}
+			}
+		}
+		rows = append(rows, sized...)
+	}
+	return rows, nil
+}
+
+// BestAsmRatio returns the best asm/wide Encode throughput ratio over
+// `rounds` adjacent pairs at one shard size — the quantity the CI
+// kernel-assertion job checks (>= 2x on AVX2 runners). It fails when no
+// assembly kernel is available in this build/CPU.
+func BestAsmRatio(n, k, shardSize, rounds int) (float64, error) {
+	asmField, err := gf256.NewWithKernel("asm")
+	if err != nil {
+		return 0, err
+	}
+	asm, err := reedsolomon.NewWithField(n, k, asmField)
+	if err != nil {
+		return 0, err
+	}
+	wide, err := reedsolomon.NewWithField(n, k, gf256.NewWide())
+	if err != nil {
+		return 0, err
+	}
+	shards := makeShards(n, k, shardSize, int64(shardSize))
+	best := 0.0
+	for r := 0; r < rounds; r++ {
+		a, err := timeEncode(asm, shards, 50*time.Millisecond)
+		if err != nil {
+			return 0, err
+		}
+		w, err := timeEncode(wide, shards, 50*time.Millisecond)
+		if err != nil {
+			return 0, err
+		}
+		if ratio := a / w; ratio > best {
+			best = ratio
+		}
+	}
+	return best, nil
+}
+
+// --------------------------------------------- BENCH_kernels trajectory
+
+// KernelsSchemaVersion is bumped on any incompatible change to the
+// BENCH_kernels layout; AppendKernelsPoint refuses to extend a file
+// written under a different version (same schema-drift tripwire as the
+// sessions and scenario trajectories).
+const KernelsSchemaVersion = 1
+
+// KernelsBenchFile is the repo-root trajectory of the per-kernel GF(2^8)
+// sweep: every `cdbench encode` run appends one point, recording how
+// each PR moved per-kernel encode/decode throughput on that runner.
+const KernelsBenchFile = "BENCH_kernels.json"
+
+// KernelsFile is the on-disk trajectory.
+type KernelsFile struct {
+	SchemaVersion int            `json:"schema_version"`
+	Benchmark     string         `json:"benchmark"`
+	Points        []KernelsPoint `json:"points"`
+}
+
+// KernelsPoint is one full run of the per-kernel sweep.
+type KernelsPoint struct {
+	// RecordedAt is the RFC3339 run timestamp.
+	RecordedAt string `json:"recorded_at"`
+	// Quick marks smoke-sized runs; compare quick points against quick
+	// points only.
+	Quick bool `json:"quick"`
+	// GOARCH identifies the runner architecture the numbers belong to —
+	// amd64 and arm64 series are not comparable.
+	GOARCH string `json:"goarch"`
+	// Dispatched is the kernel gf256.New selected on this runner (what
+	// production code actually ran), e.g. "avx2" or "wide".
+	Dispatched string `json:"dispatched"`
+	// Rows holds every (kernel, shard size) cell measured.
+	Rows []KernelSpeedRow `json:"rows"`
+}
+
+// NewKernelsPoint packages sweep rows with the runner identity.
+func NewKernelsPoint(rows []KernelSpeedRow, quick bool) KernelsPoint {
+	return KernelsPoint{
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+		Quick:      quick,
+		GOARCH:     runtime.GOARCH,
+		Dispatched: gf256.New().Kernel(),
+		Rows:       rows,
+	}
+}
+
+// LoadKernelsFile reads a kernels trajectory. A missing file returns
+// (nil, nil): no history yet.
+func LoadKernelsFile(path string) (*KernelsFile, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f KernelsFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// AppendKernelsPoint loads the kernels trajectory in dir (creating it
+// on first run), verifies the schema version, appends p, and writes the
+// file back atomically (tmp + rename).
+func AppendKernelsPoint(dir string, p KernelsPoint) (string, error) {
+	path := filepath.Join(dir, KernelsBenchFile)
+	f, err := LoadKernelsFile(path)
+	if err != nil {
+		return "", err
+	}
+	if f == nil {
+		f = &KernelsFile{SchemaVersion: KernelsSchemaVersion, Benchmark: "gf256_kernels"}
+	}
+	if f.SchemaVersion != KernelsSchemaVersion {
+		return "", fmt.Errorf("bench: %s has schema version %d, this build writes %d — migrate or reset the trajectory",
+			path, f.SchemaVersion, KernelsSchemaVersion)
+	}
+	if f.Benchmark != "gf256_kernels" {
+		return "", fmt.Errorf("bench: %s names benchmark %q, not %q", path, f.Benchmark, "gf256_kernels")
+	}
+	f.Points = append(f.Points, p)
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	raw = append(raw, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return "", err
+	}
+	return path, os.Rename(tmp, path)
+}
+
+// Validate checks a kernels trajectory's internal consistency.
+func (f *KernelsFile) Validate() error {
+	if f.SchemaVersion != KernelsSchemaVersion {
+		return fmt.Errorf("schema version %d, want %d", f.SchemaVersion, KernelsSchemaVersion)
+	}
+	if f.Benchmark != "gf256_kernels" {
+		return fmt.Errorf("benchmark %q, want gf256_kernels", f.Benchmark)
+	}
+	if len(f.Points) == 0 {
+		return fmt.Errorf("no points")
+	}
+	for i, p := range f.Points {
+		if p.RecordedAt == "" {
+			return fmt.Errorf("point %d: no timestamp", i)
+		}
+		if p.GOARCH == "" || p.Dispatched == "" {
+			return fmt.Errorf("point %d: missing runner identity (goarch %q, dispatched %q)", i, p.GOARCH, p.Dispatched)
+		}
+		if len(p.Rows) == 0 {
+			return fmt.Errorf("point %d: no rows", i)
+		}
+		for j, r := range p.Rows {
+			if r.Kernel == "" || r.ShardBytes <= 0 || r.N <= 0 || r.K <= 0 {
+				return fmt.Errorf("point %d row %d: degenerate sizing %+v", i, j, r)
+			}
+			if r.EncodeMBps <= 0 || r.DecodeMBps <= 0 {
+				return fmt.Errorf("point %d row %d: non-positive measurement %+v", i, j, r)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cdstore/internal/gf256"
+	"cdstore/internal/race"
+)
+
+// TestAsmKernelSpeedup is the SIMD acceptance assertion: single-thread
+// reedsolomon.Encode through the dispatched assembly kernel must reach
+// at least 2x the wide pure-Go kernel on 4KB+ shards. Asm and wide are
+// timed adjacently and the best interleaved ratio is kept, so shared
+// background load cancels out. Skipped where no assembly kernel exists
+// (noasm builds, pre-SSSE3 CPUs) and under the race detector.
+func TestAsmKernelSpeedup(t *testing.T) {
+	if race.Enabled {
+		t.Skip("timing assertion skipped under the race detector")
+	}
+	if _, err := gf256.NewWithKernel("asm"); err != nil {
+		t.Skipf("no assembly kernel: %v", err)
+	}
+	for _, shardSize := range []int{4 << 10, 64 << 10} {
+		ratio, err := BestAsmRatio(4, 3, shardSize, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("shard %dKB: asm/wide = %.2fx", shardSize>>10, ratio)
+		if ratio < 2.0 {
+			t.Errorf("shard %dKB: asm kernel only %.2fx over wide, want >= 2x", shardSize>>10, ratio)
+		}
+	}
+}
+
+// TestKernelSweepRows sanity-checks the sweep driver: one row per
+// (kernel, shard size) cell, all measurements positive, decode rows
+// present (the degraded path must be exercised, not just encode).
+func TestKernelSweepRows(t *testing.T) {
+	sizes := []int{1 << 10, 4 << 10}
+	rows, err := KernelSweep(4, 3, sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernels := gf256.Kernels()
+	if want := len(kernels) * len(sizes); len(rows) != want {
+		t.Fatalf("got %d rows, want %d (%d kernels x %d sizes)", len(rows), want, len(kernels), len(sizes))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if r.EncodeMBps <= 0 || r.DecodeMBps <= 0 {
+			t.Fatalf("non-positive measurement: %+v", r)
+		}
+		seen[r.Kernel] = true
+	}
+	for _, k := range kernels {
+		if !seen[k] {
+			t.Fatalf("kernel %q missing from sweep rows", k)
+		}
+	}
+}
+
+// TestKernelsTrajectory covers the BENCH_kernels.json lifecycle: create,
+// append, reload, validate, and the schema-drift tripwire.
+func TestKernelsTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	rows := []KernelSpeedRow{
+		{Kernel: "wide", ShardBytes: 4096, N: 4, K: 3, EncodeMBps: 900, DecodeMBps: 850},
+		{Kernel: "avx2", ShardBytes: 4096, N: 4, K: 3, EncodeMBps: 4200, DecodeMBps: 4100},
+	}
+	path, err := AppendKernelsPoint(dir, NewKernelsPoint(rows, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendKernelsPoint(dir, NewKernelsPoint(rows, false)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadKernelsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f == nil || len(f.Points) != 2 {
+		t.Fatalf("trajectory did not accumulate: %+v", f)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Points[0].GOARCH == "" || f.Points[0].Dispatched == "" {
+		t.Fatalf("point lacks runner identity: %+v", f.Points[0])
+	}
+
+	// Schema drift must refuse the append, not silently extend.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := strings.Replace(string(raw), `"schema_version": 1`, `"schema_version": 99`, 1)
+	if drifted == string(raw) {
+		t.Fatal("fixture did not contain the schema version marker")
+	}
+	if err := os.WriteFile(path, []byte(drifted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendKernelsPoint(dir, NewKernelsPoint(rows, true)); err == nil {
+		t.Fatal("append extended a trajectory with a foreign schema version")
+	}
+
+	// A missing file is no history, not an error.
+	missing, err := LoadKernelsFile(filepath.Join(dir, "nope.json"))
+	if err != nil || missing != nil {
+		t.Fatalf("missing file: got (%v, %v), want (nil, nil)", missing, err)
+	}
+
+	// Validate catches broken rows.
+	bad := &KernelsFile{SchemaVersion: KernelsSchemaVersion, Benchmark: "gf256_kernels",
+		Points: []KernelsPoint{{RecordedAt: "x", GOARCH: "amd64", Dispatched: "avx2",
+			Rows: []KernelSpeedRow{{Kernel: "wide", ShardBytes: 4096, N: 4, K: 3}}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted a zero-throughput row")
+	}
+}

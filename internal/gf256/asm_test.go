@@ -1,0 +1,255 @@
+package gf256
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// asmKernelNames lists the assembly kernels runnable in this process
+// (empty under noasm or on CPUs without SIMD support).
+func asmKernelNames() []string {
+	var names []string
+	for _, l := range asmLevels() {
+		names = append(names, asmLevelName(l))
+	}
+	return names
+}
+
+// TestAsmMatchesScalarAllCoefficients pins every available assembly
+// kernel to the scalar oracle for all 256 coefficients, across lengths
+// that cover the 32/64-byte main loops, the 16-byte tail groups, and
+// the byte-wise tails, at unaligned slice offsets.
+func TestAsmMatchesScalarAllCoefficients(t *testing.T) {
+	names := asmKernelNames()
+	if len(names) == 0 {
+		t.Skip("no assembly kernel in this build/CPU")
+	}
+	scalar := NewScalar()
+	rng := rand.New(rand.NewSource(21))
+	for _, name := range names {
+		asm, err := NewWithKernel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{0, 1, 15, 16, 17, 31, 32, 33, 47, 48, 63, 64, 65, 127, 257, 1024, 4099} {
+			for _, off := range []int{0, 1, 7, 13} {
+				srcBuf := make([]byte, n+off)
+				dstBuf := make([]byte, n+off)
+				rng.Read(srcBuf)
+				rng.Read(dstBuf)
+				src, dst := srcBuf[off:], dstBuf[off:]
+				for c := 0; c < Order; c++ {
+					wantAdd := append([]byte(nil), dst...)
+					gotAdd := append([]byte(nil), dst...)
+					scalar.MulAddSlice(byte(c), src, wantAdd)
+					asm.MulAddSlice(byte(c), src, gotAdd)
+					if !bytes.Equal(gotAdd, wantAdd) {
+						t.Fatalf("%s MulAddSlice len=%d off=%d c=%d diverges from scalar", name, n, off, c)
+					}
+					wantMul := make([]byte, n)
+					gotMul := append([]byte(nil), dst...)
+					scalar.MulSlice(byte(c), src, wantMul)
+					asm.MulSlice(byte(c), src, gotMul)
+					if !bytes.Equal(gotMul, wantMul) {
+						t.Fatalf("%s MulSlice len=%d off=%d c=%d diverges from scalar", name, n, off, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestXorAsmMatchesReference pins the assembly xor kernels (both the
+// MulAddSlice c=1 path and package-level AddSlice feed through them).
+func TestXorAsmMatchesReference(t *testing.T) {
+	names := asmKernelNames()
+	if len(names) == 0 {
+		t.Skip("no assembly kernel in this build/CPU")
+	}
+	rng := rand.New(rand.NewSource(22))
+	for _, name := range names {
+		asm, err := NewWithKernel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{0, 1, 15, 16, 17, 31, 32, 33, 64, 65, 1023} {
+			for _, off := range []int{0, 3} {
+				srcBuf := make([]byte, n+off)
+				dstBuf := make([]byte, n+off)
+				rng.Read(srcBuf)
+				rng.Read(dstBuf)
+				src, dst := srcBuf[off:], dstBuf[off:]
+				want := make([]byte, n)
+				for i := range want {
+					want[i] = dst[i] ^ src[i]
+				}
+				got := append([]byte(nil), dst...)
+				asm.MulAddSlice(1, src, got)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s MulAddSlice c=1 len=%d off=%d wrong", name, n, off)
+				}
+			}
+		}
+	}
+}
+
+// TestAsmFieldNeverBuildsWideTables is the memory acceptance criterion:
+// when an assembly kernel is dispatched, the 128KB-per-coefficient
+// wide-table LRU must stay empty no matter how many coefficients the
+// bulk operations touch — the SIMD path runs off the 8KB nib table set
+// alone (8MB/Field worst case saved in every process).
+func TestAsmFieldNeverBuildsWideTables(t *testing.T) {
+	if bestAsm == asmNone {
+		t.Skip("no assembly kernel in this build/CPU")
+	}
+	f, err := NewWithKernel("asm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.nib == nil {
+		t.Fatal("asm field has no nib tables")
+	}
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	rand.New(rand.NewSource(23)).Read(src)
+	for c := 0; c < Order; c++ {
+		f.MulAddSlice(byte(c), src, dst)
+		f.MulSlice(byte(c), src, dst)
+	}
+	if n := f.wideResident(); n != 0 {
+		t.Fatalf("asm field built %d wide tables; want 0 (kernel-aware table selection)", n)
+	}
+	// And the converse: a wide field must not carry the nib set.
+	if w := NewWide(); w.nib != nil {
+		t.Fatal("wide field built nib tables it never reads")
+	}
+}
+
+// TestNewDispatchesBestKernel: New must select the best assembly level
+// where one exists, the wide kernel otherwise (absent an env override,
+// which the test runner does not set for this package's tests).
+func TestNewDispatchesBestKernel(t *testing.T) {
+	if dispatchKernel() != (kernelChoice{kind: kernelWide}) && bestAsm == asmNone {
+		t.Fatalf("dispatched %q with no asm available", dispatchKernel().name())
+	}
+	want := "wide"
+	if bestAsm != asmNone {
+		want = asmLevelName(bestAsm)
+	}
+	if got := New().Kernel(); got != want {
+		// An env override in the environment legitimately changes this;
+		// only fail when none is set.
+		if dispatched := dispatchKernel().name(); dispatched == got && got != want {
+			t.Skipf("dispatch overridden to %q by environment", got)
+		}
+		t.Fatalf("New dispatched %q, want %q", got, want)
+	}
+}
+
+// TestNewWithKernelNames: every listed kernel constructs and reports
+// its own name; unknown names fail.
+func TestNewWithKernelNames(t *testing.T) {
+	for _, name := range Kernels() {
+		f, err := NewWithKernel(name)
+		if err != nil {
+			t.Fatalf("NewWithKernel(%q): %v", name, err)
+		}
+		if got := f.Kernel(); got != name {
+			t.Fatalf("NewWithKernel(%q).Kernel() = %q", name, got)
+		}
+	}
+	if _, err := NewWithKernel("pshufb9000"); err == nil {
+		t.Fatal("unknown kernel name accepted")
+	}
+	if bestAsm == asmNone {
+		if _, err := NewWithKernel("asm"); err == nil {
+			t.Fatal(`NewWithKernel("asm") succeeded with no assembly available`)
+		}
+	} else if f, _ := NewWithKernel("asm"); f.Kernel() != asmLevelName(bestAsm) {
+		t.Fatalf(`NewWithKernel("asm") resolved to %q, want best level %q`, f.Kernel(), asmLevelName(bestAsm))
+	}
+}
+
+// TestEnvKernelOverride exercises the CDSTORE_GF256_KERNEL plumbing by
+// resetting the once-per-process dispatch cache around each case. The
+// cache (and the process's real environment) is restored afterwards so
+// other tests see normal dispatch.
+func TestEnvKernelOverride(t *testing.T) {
+	reset := func() { dispatchOnce = sync.Once{} }
+	defer func() {
+		// Recompute the real dispatch with the test env cleaned up.
+		reset()
+	}()
+	cases := []struct {
+		env  string
+		want string
+	}{
+		{"scalar", "scalar"},
+		{"wide", "wide"},
+		{"not-a-kernel", ""}, // ignored -> normal dispatch
+	}
+	if bestAsm != asmNone {
+		cases = append(cases,
+			struct{ env, want string }{"asm", asmLevelName(bestAsm)},
+			struct{ env, want string }{asmLevelName(bestAsm), asmLevelName(bestAsm)})
+	} else {
+		// "asm" unavailable must fall back to normal dispatch, not fail.
+		cases = append(cases, struct{ env, want string }{"asm", ""})
+	}
+	for _, tc := range cases {
+		t.Run(tc.env, func(t *testing.T) {
+			t.Setenv(EnvKernel, tc.env)
+			reset()
+			want := tc.want
+			if want == "" {
+				want = "wide"
+				if bestAsm != asmNone {
+					want = asmLevelName(bestAsm)
+				}
+			}
+			if got := New().Kernel(); got != want {
+				t.Fatalf("%s=%q dispatched %q, want %q", EnvKernel, tc.env, got, want)
+			}
+		})
+	}
+}
+
+// TestKernelsListShape sanity-checks the public kernel inventory.
+func TestKernelsListShape(t *testing.T) {
+	ks := Kernels()
+	if len(ks) < 2 || ks[0] != "scalar" || ks[1] != "wide" {
+		t.Fatalf("Kernels() = %v, want scalar and wide first", ks)
+	}
+	if want := 2 + len(asmLevels()); len(ks) != want {
+		t.Fatalf("Kernels() = %v, want %d entries", ks, want)
+	}
+}
+
+func benchmarkMulAddKernel(b *testing.B, name string, size int) {
+	f, err := NewWithKernel(name)
+	if err != nil {
+		b.Skip(err)
+	}
+	src := make([]byte, size)
+	dst := make([]byte, size)
+	rand.New(rand.NewSource(2)).Read(src)
+	f.MulAddSlice(173, src, dst) // build any lazy tables outside the loop
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MulAddSlice(173, src, dst)
+	}
+}
+
+func BenchmarkMulAddSliceKernels(b *testing.B) {
+	for _, name := range Kernels() {
+		for _, size := range []int{4 << 10, 64 << 10} {
+			b.Run(fmt.Sprintf("%s/%dKB", name, size>>10), func(b *testing.B) {
+				benchmarkMulAddKernel(b, name, size)
+			})
+		}
+	}
+}

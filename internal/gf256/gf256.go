@@ -7,11 +7,15 @@
 // a 64KB full multiplication table makes Mul a single load, and per-symbol
 // row tables let bulk slice operations run at memory speed.
 //
-// Bulk operations (MulSlice, MulAddSlice, AddSlice) run a wide kernel
-// that moves 8 bytes per step through uint64 loads and per-coefficient
-// double-byte tables built lazily on first use (see kernel.go); the
-// byte-at-a-time scalar path remains for tails and, via NewScalar, as the
-// differential-testing reference.
+// Bulk operations (MulSlice, MulAddSlice, AddSlice) dispatch at Field
+// construction to the fastest kernel the CPU supports: hand-written
+// split-nibble SIMD kernels (SSSE3/AVX2 on amd64, NEON on arm64; see
+// kernel_*.s and dispatch.go) where available, else a wide pure-Go
+// kernel that moves 8 bytes per step through uint64 loads and
+// per-coefficient double-byte tables built lazily on first use (see
+// kernel.go). The byte-at-a-time scalar path remains for tails and, via
+// NewScalar, as the differential-testing reference. CDSTORE_GF256_KERNEL
+// overrides the dispatch (see EnvKernel).
 //
 // The zero Field value is not usable; call New.
 package gf256
@@ -41,22 +45,37 @@ type Field struct {
 	// consume; entries are built lazily on first bulk use of a coefficient
 	// and bounded to wideCacheCap resident tables (see kernel.go). Reads
 	// stay a single atomic load; builds and evictions serialize on wideMu.
+	// Only a kernelWide Field ever populates it: table selection is
+	// kernel-aware, so the asm path never pays the 8MB worst case.
 	wide      [Order]atomic.Pointer[wideTab]
 	wideStamp [Order]atomic.Uint64 // last-use clock ticks, for LRU eviction
 	wideClock atomic.Uint64
 	wideMu    sync.Mutex
 	wideCount int // resident tables, guarded by wideMu
-	// scalar forces the byte-at-a-time loops (NewScalar): the reference
-	// the wide kernels are property-tested and benchmarked against.
-	scalar bool
+
+	// nib holds the 8KB split-nibble table set the SIMD kernels consume;
+	// built eagerly at construction, and only for kernelAsm Fields.
+	nib *nibTabs
+
+	// kind selects the bulk-kernel family (scalar / wide / asm); asmLvl
+	// picks the assembly implementation when kind is kernelAsm.
+	kind   kernelKind
+	asmLvl asmLevel
 }
 
 // defaultField is the shared field instance used by the package-level helpers.
 var defaultField = New()
 
-// New constructs a Field with all lookup tables populated.
+// New constructs a Field with all lookup tables populated, dispatched
+// to the fastest kernel this CPU supports (or to CDSTORE_GF256_KERNEL's
+// choice when set).
 func New() *Field {
-	f := &Field{}
+	return newField(dispatchKernel())
+}
+
+// newField constructs a Field pinned to one kernel choice.
+func newField(kc kernelChoice) *Field {
+	f := &Field{kind: kc.kind, asmLvl: kc.lvl}
 	x := 1
 	for i := 0; i < Order-1; i++ {
 		f.exp[i] = byte(x)
@@ -78,17 +97,25 @@ func New() *Field {
 	for a := 1; a < Order; a++ {
 		f.inv[a] = f.exp[(Order-1)-int(f.log[a])]
 	}
+	if f.kind == kernelAsm {
+		f.buildNib()
+	}
 	return f
 }
 
 // NewScalar constructs a Field whose bulk slice operations always take
-// the byte-at-a-time scalar path, never the wide kernels. It exists as
-// the reference implementation: differential tests pin the wide kernels
-// to it, and benchmarks measure the wide speedup against it.
+// the byte-at-a-time scalar path, never the wide or SIMD kernels. It
+// exists as the reference implementation: differential tests pin every
+// other kernel to it, and benchmarks measure speedups against it.
 func NewScalar() *Field {
-	f := New()
-	f.scalar = true
-	return f
+	return newField(kernelChoice{kind: kernelScalar})
+}
+
+// NewWide constructs a Field pinned to the wide pure-Go kernel even
+// when an assembly kernel is available — the portable-fallback baseline
+// the SIMD kernels are differential-tested and benchmarked against.
+func NewWide() *Field {
+	return newField(kernelChoice{kind: kernelWide})
 }
 
 // slowMul multiplies via log/exp tables; used only to build the full table.
@@ -176,9 +203,15 @@ func (f *Field) MulSlice(c byte, src, dst []byte) {
 	case 1:
 		copy(dst, src)
 	default:
-		if !f.scalar && len(src) >= wideMinLen {
-			n := mul64(f.wideTab(c), src, dst)
+		switch f.kind {
+		case kernelAsm:
+			n := mulAsm(f.asmLvl, &f.nib[c], src, dst)
 			src, dst = src[n:], dst[n:]
+		case kernelWide:
+			if len(src) >= wideMinLen {
+				n := mul64(f.wideTab(c), src, dst)
+				src, dst = src[n:], dst[n:]
+			}
 		}
 		row := &f.mul[c]
 		for i, v := range src {
@@ -197,17 +230,31 @@ func (f *Field) MulAddSlice(c byte, src, dst []byte) {
 	case 0:
 		return
 	case 1:
-		if !f.scalar && len(src) >= wideMinLen {
-			n := xor64(src, dst)
+		switch f.kind {
+		case kernelAsm:
+			n := xorAsm(f.asmLvl, src, dst)
 			src, dst = src[n:], dst[n:]
+			n = xor64(src, dst)
+			src, dst = src[n:], dst[n:]
+		case kernelWide:
+			if len(src) >= wideMinLen {
+				n := xor64(src, dst)
+				src, dst = src[n:], dst[n:]
+			}
 		}
 		for i, v := range src {
 			dst[i] ^= v
 		}
 	default:
-		if !f.scalar && len(src) >= wideMinLen {
-			n := mulAdd64(f.wideTab(c), src, dst)
+		switch f.kind {
+		case kernelAsm:
+			n := mulAddAsm(f.asmLvl, &f.nib[c], src, dst)
 			src, dst = src[n:], dst[n:]
+		case kernelWide:
+			if len(src) >= wideMinLen {
+				n := mulAdd64(f.wideTab(c), src, dst)
+				src, dst = src[n:], dst[n:]
+			}
 		}
 		row := &f.mul[c]
 		// Unroll by 4 to keep the byte loop — tails, sub-wideMinLen
@@ -226,12 +273,18 @@ func (f *Field) MulAddSlice(c byte, src, dst []byte) {
 	}
 }
 
-// AddSlice sets dst[i] ^= src[i] for every i.
+// AddSlice sets dst[i] ^= src[i] for every i. It runs the dispatched
+// best xor kernel (SIMD where available) regardless of any Field, since
+// XOR needs no coefficient tables.
 func AddSlice(src, dst []byte) {
 	if len(src) != len(dst) {
 		panic(fmt.Sprintf("gf256: AddSlice length mismatch %d != %d", len(src), len(dst)))
 	}
-	n := xor64(src, dst)
+	n := 0
+	if kc := dispatchKernel(); kc.kind == kernelAsm {
+		n = xorAsm(kc.lvl, src, dst)
+	}
+	n += xor64(src[n:], dst[n:])
 	for i := n; i < len(src); i++ {
 		dst[i] ^= src[i]
 	}

@@ -5,24 +5,44 @@ import "encoding/binary"
 // This file holds the wide GF(2^8) kernels: bulk multiply(-accumulate)
 // loops that move 8 bytes per step through uint64 loads and stores
 // (encoding/binary only, no unsafe), the way production Go erasure coders
-// structure their portable fallback paths.
+// structure their portable fallback paths. Since the SIMD rework this is
+// the fallback tier: New dispatches the assembly kernels (kernel_*.s)
+// where the CPU has them and reaches for the wide kernel only on
+// non-SIMD platforms and noasm builds.
 //
-// Table design note. SIMD erasure coders (GF-Complete, the assembly paths
-// of klauspost/reedsolomon) use split-nibble tables — two 16-entry tables
-// per coefficient, c*(x & 0x0f) and c*(x & 0xf0) — because a vector
-// shuffle performs 16..64 such lookups in one instruction. That shape was
-// prototyped here first and measured SLOWER than the plain 256-entry row
-// in scalar Go (two table loads per byte instead of one; ~1.1 GB/s vs
-// ~2.0 GB/s on the reference machine). Without shuffle instructions the
-// winning trade is the opposite one: make each lookup cover MORE input,
-// not less. The wide kernel therefore uses a per-coefficient double-byte
-// table t[x1<<8|x0] = (c*x1)<<8 | c*x0 — one 64K-entry uint16 table per
-// coefficient, built lazily on first use and cached on the Field under a
-// wideCacheCap-bounded LRU — which
-// halves the lookup count to one per two bytes and reaches ~3x the
-// unrolled byte-table loop on 4KB slices. The byte-at-a-time path remains
-// for tails, for tiny slices, and as the property-test reference
-// (Field.mulAddScalar / NewScalar).
+// Table design note — why the table SHAPE follows the execution engine.
+// The same GF(2^8) constant-multiply has two table factorizations, and
+// which one wins flips with the hardware:
+//
+// Split-nibble (what the assembly kernels use, and what GF-Complete and
+// klauspost/reedsolomon's asm paths use): two 16-entry tables per
+// coefficient, c*(x & 0x0f) and c*(x & 0xf0), combined by XOR since
+// multiplication by c is linear over GF(2). Sixteen entries is exactly
+// one 128-bit shuffle register, so PSHUFB/VPSHUFB/VTBL performs 16, 32,
+// or 64 of these lookups IN ONE INSTRUCTION, two instructions per
+// vector of input. The per-byte work collapses to a fraction of a
+// cycle, and the whole 256-coefficient table set is 8KB (nib.go) — it
+// stays resident in L1 for the duration of an encode.
+//
+// In scalar Go the identical shape LOSES: without a vector shuffle each
+// nibble lookup is an ordinary load, so split-nibble pays two
+// dependent-load round trips per byte where the plain 256-entry row
+// pays one (~1.1 GB/s vs ~2.0 GB/s measured on the reference machine).
+// One lookup per unit of input being the scalar bottleneck, the winning
+// scalar trade is the opposite one: make each lookup cover MORE input,
+// not less. The wide kernel therefore uses a per-coefficient
+// double-byte table t[x1<<8|x0] = (c*x1)<<8 | c*x0 — one 64K-entry
+// uint16 table per coefficient, built lazily on first use and cached on
+// the Field under a wideCacheCap-bounded LRU — halving the lookup count
+// to one per two bytes for ~3x the unrolled byte-table loop on 4KB
+// slices.
+//
+// The two shapes' memory profiles differ by three orders of magnitude
+// (32 bytes vs 128KB per coefficient), which is why table selection is
+// kernel-aware: an asm Field builds only the nib set and never touches
+// the wide LRU, a wide Field never builds nib tables, and the
+// byte-at-a-time path remains for tails, tiny slices, and the
+// NewScalar differential-testing reference.
 
 // wideTab is the double-byte product table of one coefficient c:
 // wideTab[x1<<8|x0] = uint16(c*x1)<<8 | uint16(c*x0), so one 16-bit load

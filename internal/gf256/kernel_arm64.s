@@ -1,0 +1,132 @@
+//go:build arm64 && !noasm
+
+// Split-nibble GF(2^8) bulk kernels for arm64 (NEON / ASIMD).
+//
+// Same table shape as the amd64 kernels: a 32-byte per-coefficient
+// table, low-nibble products in bytes 0..15 and high-nibble products in
+// bytes 16..31, consumed by VTBL — the NEON equivalent of PSHUFB.
+// VUSHR on bytes shifts each lane independently, so no post-shift mask
+// is needed for the high nibble.
+//
+// Contracts (enforced by the Go wrappers in kernel_arm64.go):
+//   - n > 0 and n % 16 == 0
+//   - src and dst do not overlap
+// VLD1/VST1 have no alignment requirement.
+//
+// Register use stays on V0..V7 and V16..V21: V8..V15's low halves are
+// callee-saved under AAPCS64 and are simply avoided.
+
+#include "textflag.h"
+
+// func gfMulAddNEON(tab, src, dst *byte, n int)
+// dst[i] ^= c*src[i] for n bytes (n % 16 == 0, n > 0).
+TEXT ·gfMulAddNEON(SB), NOSPLIT, $0-32
+	MOVD	tab+0(FP), R0
+	MOVD	src+8(FP), R1
+	MOVD	dst+16(FP), R2
+	MOVD	n+24(FP), R3
+	VLD1	(R0), [V0.B16, V1.B16]	// V0 low-nibble, V1 high-nibble products
+
+	// 32 bytes per iteration, two independent 16-byte lanes.
+loop32:
+	CMP	$32, R3
+	BLT	tail16
+	VLD1.P	32(R1), [V4.B16, V5.B16]
+	VUSHR	$4, V4.B16, V6.B16	// high nibbles
+	VUSHR	$4, V5.B16, V7.B16
+	VSHL	$4, V4.B16, V16.B16	// (x<<4)>>4 isolates the low nibble
+	VSHL	$4, V5.B16, V17.B16
+	VUSHR	$4, V16.B16, V16.B16
+	VUSHR	$4, V17.B16, V17.B16
+	VTBL	V16.B16, [V0.B16], V18.B16
+	VTBL	V6.B16, [V1.B16], V20.B16
+	VTBL	V17.B16, [V0.B16], V19.B16
+	VTBL	V7.B16, [V1.B16], V21.B16
+	VEOR	V20.B16, V18.B16, V18.B16
+	VEOR	V21.B16, V19.B16, V19.B16
+	VLD1	(R2), [V4.B16, V5.B16]
+	VEOR	V4.B16, V18.B16, V18.B16
+	VEOR	V5.B16, V19.B16, V19.B16
+	VST1.P	[V18.B16, V19.B16], 32(R2)
+	SUB	$32, R3, R3
+	B	loop32
+
+tail16:	// at most one trailing 16-byte group (n is a multiple of 16)
+	CBZ	R3, done
+	VLD1	(R1), [V4.B16]
+	VUSHR	$4, V4.B16, V6.B16
+	VSHL	$4, V4.B16, V16.B16
+	VUSHR	$4, V16.B16, V16.B16
+	VTBL	V16.B16, [V0.B16], V18.B16
+	VTBL	V6.B16, [V1.B16], V20.B16
+	VEOR	V20.B16, V18.B16, V18.B16
+	VLD1	(R2), [V4.B16]
+	VEOR	V4.B16, V18.B16, V18.B16
+	VST1	[V18.B16], (R2)
+done:
+	RET
+
+// func gfMulNEON(tab, src, dst *byte, n int)
+// dst[i] = c*src[i] for n bytes (n % 16 == 0, n > 0).
+TEXT ·gfMulNEON(SB), NOSPLIT, $0-32
+	MOVD	tab+0(FP), R0
+	MOVD	src+8(FP), R1
+	MOVD	dst+16(FP), R2
+	MOVD	n+24(FP), R3
+	VLD1	(R0), [V0.B16, V1.B16]
+loop32:
+	CMP	$32, R3
+	BLT	tail16
+	VLD1.P	32(R1), [V4.B16, V5.B16]
+	VUSHR	$4, V4.B16, V6.B16
+	VUSHR	$4, V5.B16, V7.B16
+	VSHL	$4, V4.B16, V16.B16
+	VSHL	$4, V5.B16, V17.B16
+	VUSHR	$4, V16.B16, V16.B16
+	VUSHR	$4, V17.B16, V17.B16
+	VTBL	V16.B16, [V0.B16], V18.B16
+	VTBL	V6.B16, [V1.B16], V20.B16
+	VTBL	V17.B16, [V0.B16], V19.B16
+	VTBL	V7.B16, [V1.B16], V21.B16
+	VEOR	V20.B16, V18.B16, V18.B16
+	VEOR	V21.B16, V19.B16, V19.B16
+	VST1.P	[V18.B16, V19.B16], 32(R2)
+	SUB	$32, R3, R3
+	B	loop32
+tail16:
+	CBZ	R3, done
+	VLD1	(R1), [V4.B16]
+	VUSHR	$4, V4.B16, V6.B16
+	VSHL	$4, V4.B16, V16.B16
+	VUSHR	$4, V16.B16, V16.B16
+	VTBL	V16.B16, [V0.B16], V18.B16
+	VTBL	V6.B16, [V1.B16], V20.B16
+	VEOR	V20.B16, V18.B16, V18.B16
+	VST1	[V18.B16], (R2)
+done:
+	RET
+
+// func gfXorNEON(src, dst *byte, n int)
+// dst[i] ^= src[i] for n bytes (n % 16 == 0, n > 0).
+TEXT ·gfXorNEON(SB), NOSPLIT, $0-24
+	MOVD	src+0(FP), R1
+	MOVD	dst+8(FP), R2
+	MOVD	n+16(FP), R3
+loop32:
+	CMP	$32, R3
+	BLT	tail16
+	VLD1.P	32(R1), [V4.B16, V5.B16]
+	VLD1	(R2), [V6.B16, V7.B16]
+	VEOR	V6.B16, V4.B16, V4.B16
+	VEOR	V7.B16, V5.B16, V5.B16
+	VST1.P	[V4.B16, V5.B16], 32(R2)
+	SUB	$32, R3, R3
+	B	loop32
+tail16:
+	CBZ	R3, done
+	VLD1	(R1), [V4.B16]
+	VLD1	(R2), [V6.B16]
+	VEOR	V6.B16, V4.B16, V4.B16
+	VST1	[V4.B16], (R2)
+done:
+	RET

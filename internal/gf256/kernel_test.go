@@ -25,7 +25,7 @@ func kernelLengths() []int {
 // kernel to the scalar reference field across lengths and random
 // coefficients.
 func TestMulAddSliceWideMatchesScalar(t *testing.T) {
-	wide, scalar := New(), NewScalar()
+	wide, scalar := NewWide(), NewScalar()
 	rng := rand.New(rand.NewSource(7))
 	for _, n := range kernelLengths() {
 		src := make([]byte, n)
@@ -47,7 +47,7 @@ func TestMulAddSliceWideMatchesScalar(t *testing.T) {
 
 // TestMulSliceWideMatchesScalar does the same for the overwrite kernel.
 func TestMulSliceWideMatchesScalar(t *testing.T) {
-	wide, scalar := New(), NewScalar()
+	wide, scalar := NewWide(), NewScalar()
 	rng := rand.New(rand.NewSource(8))
 	for _, n := range kernelLengths() {
 		src := make([]byte, n)
@@ -70,7 +70,7 @@ func TestMulSliceWideMatchesScalar(t *testing.T) {
 // past the wide threshold, so each lazily-built wide table is validated
 // against the scalar row it was derived from.
 func TestMulAddSliceAllCoefficients(t *testing.T) {
-	wide, scalar := New(), NewScalar()
+	wide, scalar := NewWide(), NewScalar()
 	rng := rand.New(rand.NewSource(9))
 	src := make([]byte, 131)
 	dst := make([]byte, 131)
@@ -108,7 +108,7 @@ func TestAddSliceMatchesScalarXOR(t *testing.T) {
 // TestWideTabCached asserts the lazily-built table is built once and
 // reused (pointer identity across calls).
 func TestWideTabCached(t *testing.T) {
-	f := New()
+	f := NewWide()
 	a := f.wideTab(37)
 	b := f.wideTab(37)
 	if a != b {
@@ -128,7 +128,7 @@ func TestWideTabCached(t *testing.T) {
 // this validates the atomic publish, and every result is checked against
 // the scalar reference.
 func TestWideTabConcurrentFirstUse(t *testing.T) {
-	wide, scalar := New(), NewScalar()
+	wide, scalar := NewWide(), NewScalar()
 	src := make([]byte, 1024)
 	rand.New(rand.NewSource(11)).Read(src)
 	want := make([]byte, len(src))
@@ -161,7 +161,7 @@ func TestWideTabConcurrentFirstUse(t *testing.T) {
 // and asserts the table cache never exceeds its cap — an unbounded cache
 // would sit at 256 tables (32MB) after this sweep.
 func TestWideCacheBounded(t *testing.T) {
-	wide, scalar := New(), NewScalar()
+	wide, scalar := NewWide(), NewScalar()
 	rng := rand.New(rand.NewSource(12))
 	src := make([]byte, 257)
 	dst := make([]byte, 257)
@@ -188,7 +188,7 @@ func TestWideCacheBounded(t *testing.T) {
 // re-touched between floods of one-shot coefficients must survive every
 // eviction round, while the one-shot tables churn beneath it.
 func TestWideCacheKeepsHotCoefficient(t *testing.T) {
-	f := New()
+	f := NewWide()
 	src := make([]byte, 128)
 	dst := make([]byte, 128)
 	rand.New(rand.NewSource(13)).Read(src)
@@ -210,7 +210,7 @@ func TestWideCacheKeepsHotCoefficient(t *testing.T) {
 // cache without touching it, then uses it again: the table must be
 // rebuilt and produce scalar-identical results.
 func TestWideCacheRebuildAfterEviction(t *testing.T) {
-	wide, scalar := New(), NewScalar()
+	wide, scalar := NewWide(), NewScalar()
 	rng := rand.New(rand.NewSource(14))
 	src := make([]byte, 300)
 	dst := make([]byte, 300)

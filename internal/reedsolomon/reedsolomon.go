@@ -44,14 +44,22 @@ var (
 // n x k Vandermonde matrix right-multiplied by the inverse of its own top
 // k x k block, which preserves the any-k-rows-invertible property while
 // making the first k outputs equal the inputs.
+//
+// The codec's bulk arithmetic runs whatever kernel gf256 dispatched for
+// this CPU — the SIMD split-nibble kernels (SSSE3/AVX2/NEON) where
+// available, the wide pure-Go kernel otherwise — through mulRows'
+// MulSlice/MulAddSlice calls, on both the encode path (EncodeInto) and
+// the degraded-decode path (ReconstructDataInto's cached inverse-row
+// multiply). CDSTORE_GF256_KERNEL overrides the choice process-wide.
 func New(n, k int) (*Codec, error) {
 	return NewWithField(n, k, gf256.Default())
 }
 
 // NewWithField constructs the codec over a caller-supplied field. Its
 // purpose is benchmarking and differential testing: a codec over
-// gf256.NewScalar() is the forced-scalar baseline the wide kernels are
-// measured against.
+// gf256.NewScalar() is the forced-scalar oracle, and codecs over
+// gf256.NewWide() / gf256.NewWithKernel(...) pin one kernel for the
+// per-kernel sweep and cross-checks.
 func NewWithField(n, k int, field *gf256.Field) (*Codec, error) {
 	if k <= 0 || n <= k || n > 256 {
 		return nil, fmt.Errorf("%w (got n=%d k=%d)", ErrInvalidParams, n, k)

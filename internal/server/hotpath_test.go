@@ -72,6 +72,69 @@ func TestFingerprintBatchInlineFallback(t *testing.T) {
 	}
 }
 
+// TestFingerprintBatchSaturatedPoolSingleProc pins the inline fallback
+// under the conditions 1-CPU CI runners actually hit: GOMAXPROCS=1 and
+// every pool worker busy with a queue already full. do() must shed the
+// load onto the caller's goroutine — submission never blocks — so the
+// batch completes correctly even though no worker can make progress
+// until after the batch is done. A regression that makes do() block on
+// a full queue shows up here as a deadlock (and a test timeout), not as
+// a rare 1-CPU-runner hang.
+func TestFingerprintBatchSaturatedPoolSingleProc(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	srv, err := New(Config{
+		CloudIndex: 0, N: 4, K: 3,
+		IndexDir: t.TempDir(), Backend: storage.NewMemory(),
+		HashWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.hashers == nil {
+		t.Fatal("pool unexpectedly disabled")
+	}
+
+	// Wedge both workers on a gate, then fill the job queue (capacity
+	// workers*2) with no-ops nobody will drain until the gate opens.
+	gate := make(chan struct{})
+	var wedged sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wedged.Add(1)
+		srv.hashers.jobs <- func() { wedged.Done(); <-gate }
+	}
+	// Workers pick jobs off the queue; wait until both are parked so the
+	// fills below stay queued rather than being consumed.
+	wedged.Wait()
+	for i := 0; i < cap(srv.hashers.jobs); i++ {
+		srv.hashers.jobs <- func() {}
+	}
+
+	batch := make([]protocol.ShareUpload, 3*hashChunk+5)
+	for i := range batch {
+		batch[i].Data = []byte(fmt.Sprintf("saturated-%d", i))
+	}
+	fps := make([]metadata.Fingerprint, len(batch))
+	done := make(chan struct{})
+	go func() {
+		srv.fingerprintBatch(fps, batch)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fingerprintBatch blocked on a saturated pool; inline fallback is broken")
+	}
+	close(gate)
+	for i := range batch {
+		if fps[i] != metadata.FingerprintOf(batch[i].Data) {
+			t.Fatalf("share %d wrong under saturated-pool inline fallback", i)
+		}
+	}
+}
+
 // TestFlowLimiterFIFO: grants must come strictly in arrival order, so a
 // stream of small acquires cannot starve a large one.
 func TestFlowLimiterFIFO(t *testing.T) {
