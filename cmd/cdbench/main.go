@@ -362,6 +362,43 @@ func sessions(quick bool) error {
 		return err
 	}
 	fmt.Printf("appended trajectory point to %s\n", path)
+
+	fmt.Println()
+	fmt.Println("Gateway/mux leg: the same many-session workload, direct 1:1")
+	fmt.Println("connections vs funneled through a gateway's pooled mux connections.")
+	fmt.Println("Each logical session's full lifecycle is measured — setup (connect +")
+	fmt.Println("hello), steady-state puts, and clean retirement — with setup cost")
+	fmt.Println("reported per session, separately from steady-state shares/s.")
+	muxCounts, gatewayConns := []int{64, 1024}, 4
+	if quick {
+		muxCounts = []int{64, 256}
+	}
+	muxRows, err := bench.GatewayMuxSweep(muxCounts, highTotal, shareSize, gatewayConns)
+	if err != nil {
+		return err
+	}
+	muxPoint := bench.SessionsMuxPoint{
+		RecordedAt:   time.Now().UTC().Format(time.RFC3339),
+		Quick:        quick,
+		ShareSize:    shareSize,
+		GatewayConns: gatewayConns,
+	}
+	fmt.Printf("%-10s %-10s %-12s %-12s %-12s %-14s %-16s\n",
+		"Sessions", "Mode", "Setup", "Put", "Retire", "Shares/s", "Setup/session")
+	for _, r := range muxRows {
+		fmt.Printf("%-10d %-10s %-12s %-12s %-12s %-14.0f %.0fus\n",
+			r.Sessions, r.Mode, r.Setup.Round(time.Millisecond), r.Put.Round(time.Millisecond),
+			r.Retire.Round(time.Millisecond), r.SharesPerSec, r.SetupPerSessionUS)
+		muxPoint.Rows = append(muxPoint.Rows, bench.MuxRowPoint(r))
+	}
+	muxPoint.GatewaySpeedupAtMax, muxPoint.SetupAmortization = bench.MuxDerived(muxRows)
+	fmt.Printf("gateway speedup at %d sessions: %.2fx lifecycle throughput, %.2fx cheaper per-session setup\n",
+		muxCounts[len(muxCounts)-1], muxPoint.GatewaySpeedupAtMax, muxPoint.SetupAmortization)
+	muxPath, err := bench.AppendSessionsMuxPoint(".", muxPoint)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("appended trajectory point to %s\n", muxPath)
 	return nil
 }
 

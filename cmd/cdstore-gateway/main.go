@@ -1,0 +1,80 @@
+// Command cdstore-gateway runs the session-multiplexing proxy tier in
+// front of a CDStore deployment: one listener per cloud, each funneling
+// its many downstream client sessions over a small pool of persistent
+// multiplexed connections to that cloud's server. Deploy it where
+// thousands of logical sessions would otherwise each pay a TCP + Hello
+// + buffer setup on the servers.
+//
+// A four-cloud deployment fronted by one gateway process:
+//
+//	cdstore-gateway \
+//	  -listen :9100,:9101,:9102,:9103 \
+//	  -upstream host0:9000,host1:9001,host2:9002,host3:9003 \
+//	  -conns 4
+//
+// Clients then dial :9100..:9103 as if they were the servers — the
+// relay is protocol-transparent.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"cdstore/internal/gateway"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":9100", "comma-separated downstream listen addresses, one per cloud")
+		upstream = flag.String("upstream", "127.0.0.1:9000", "comma-separated server addresses, one per cloud (aligned with -listen)")
+		conns    = flag.Int("conns", 4, "pooled upstream connections per cloud")
+		downBuf  = flag.Int("down-buf", 32*1024, "per-downstream-session buffer bytes")
+	)
+	flag.Parse()
+
+	listens := strings.Split(*listen, ",")
+	upstreams := strings.Split(*upstream, ",")
+	if len(listens) != len(upstreams) {
+		log.Fatalf("-listen has %d addresses but -upstream has %d; they pair up per cloud", len(listens), len(upstreams))
+	}
+
+	gws := make([]*gateway.Gateway, len(listens))
+	errc := make(chan error, len(listens))
+	for i := range listens {
+		addr := upstreams[i]
+		gw, err := gateway.New(gateway.Config{
+			Dial:               func() (net.Conn, error) { return net.Dial("tcp", addr) },
+			UpstreamConns:      *conns,
+			DownstreamBufBytes: *downBuf,
+		})
+		if err != nil {
+			log.Fatalf("cloud %d: %v", i, err)
+		}
+		gws[i] = gw
+		ln, err := net.Listen("tcp", listens[i])
+		if err != nil {
+			log.Fatalf("listening on %s: %v", listens[i], err)
+		}
+		log.Printf("cdstore-gateway cloud %d: %s -> %s (%d pooled conns)", i, ln.Addr(), addr, *conns)
+		go func() { errc <- gw.Serve(ln) }()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		log.Printf("shutting down")
+		for _, gw := range gws {
+			gw.Close()
+		}
+	case err := <-errc:
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"cdstore/internal/gateway"
+	"cdstore/internal/metadata"
+	"cdstore/internal/protocol"
+	"cdstore/internal/server"
+	"cdstore/internal/storage"
+)
+
+// MuxSessionRow is one leg of the gateway/mux comparison: M logical
+// sessions pushing unique shares at one server, either over M direct
+// connections or funneled through a gateway's pooled mux connections.
+// A logical session's cost is its whole lifecycle, measured in three
+// phases: Setup (connect + Hello — the fixed cost the PR 7 sweep showed
+// eating the 1024-session row), the steady-state Put rounds, and Retire
+// (clean Bye, waited until the server has fully ended the session).
+// Retire is where the structural difference bites hardest: a direct
+// connection's Bye triggers a server-wide durability flush per session
+// — a thousand clean session ends are a thousand flushes into the
+// latency-shaped backend — while a mux stream's Bye just retires a
+// virtual session, durability riding the pooled transport's lifecycle
+// (batches stay WAL-group-committed either way). The headline
+// SharesPerSec covers all three phases.
+type MuxSessionRow struct {
+	Sessions          int
+	Mode              string // "direct" or "gateway"
+	UpstreamConns     int    // pooled upstream connections (0 for direct)
+	Shares            int
+	Setup             time.Duration // all sessions connected + hello'd
+	Put               time.Duration // all sessions' query+put rounds done
+	Retire            time.Duration // all sessions cleanly ended (Bye + EOF)
+	Elapsed           time.Duration // Setup + Put + Retire
+	SetupPerSessionUS float64       // amortized per-session setup cost
+	SharesPerSec      float64       // total shares / Elapsed
+	MBps              float64
+}
+
+// muxBenchServer builds the benchmark server: same latency-shaped
+// backend and container sizing as ConcurrentSessions, so rows are
+// comparable across the two files.
+func muxBenchServer(dir string) (*server.Server, error) {
+	return server.New(server.Config{
+		CloudIndex: 0, N: 4, K: 3,
+		IndexDir: dir,
+		Backend: &latencyBackend{
+			Backend:     storage.NewMemory(),
+			putLatency:  2 * time.Millisecond,
+			bytesPerSec: 100 << 20,
+		},
+		ContainerCapacity: 64 << 10,
+	})
+}
+
+// benchClientBufBytes sizes the bench client's connection buffers —
+// small (32KB) in BOTH legs so the comparison exposes the
+// server/gateway side of session cost, not the harness's.
+const benchClientBufBytes = 32 * 1024
+
+// GatewaySessionCompare measures one (sessions, mode) cell. gatewayConns
+// <= 0 runs the direct leg: every session dials the server itself.
+// Otherwise sessions flow through a gateway pooling that many upstream
+// connections.
+func GatewaySessionCompare(sessions, sharesPerSession, shareSize, gatewayConns int) (MuxSessionRow, error) {
+	dir, err := os.MkdirTemp("", "cdstore-bench-mux-")
+	if err != nil {
+		return MuxSessionRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := muxBenchServer(dir)
+	if err != nil {
+		return MuxSessionRow{}, err
+	}
+	defer srv.Close()
+
+	// Both dialers close the served end when the serving loop returns, so
+	// a session that sent Bye observes EOF once the server (or gateway)
+	// has fully retired it — that EOF is the retire phase's finish line.
+	mode := "direct"
+	dial := func() (net.Conn, error) {
+		a, b := net.Pipe()
+		go func() {
+			_ = srv.ServeConn(a)
+			a.Close()
+		}()
+		return b, nil
+	}
+	if gatewayConns > 0 {
+		mode = "gateway"
+		gw, err := gateway.New(gateway.Config{
+			Dial: func() (net.Conn, error) {
+				a, b := net.Pipe()
+				go func() {
+					_ = srv.ServeConn(a)
+					a.Close()
+				}()
+				return b, nil
+			},
+			UpstreamConns: gatewayConns,
+		})
+		if err != nil {
+			return MuxSessionRow{}, err
+		}
+		defer gw.Close()
+		dial = func() (net.Conn, error) {
+			a, b := net.Pipe()
+			go func() {
+				_ = gw.ServeDownstream(a)
+				a.Close()
+			}()
+			return b, nil
+		}
+	}
+
+	// Phase 1 — setup: every session connects and completes Hello. The
+	// barrier between phases is the measurement boundary, not a claim
+	// about real deployments (where setup and puts overlap); it is what
+	// lets the trajectory report per-session setup cost on its own.
+	conns := make([]*protocol.Conn, sessions)
+	errCh := make(chan error, sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			nc, err := dial()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			pc := protocol.NewConnSize(nc, benchClientBufBytes)
+			if err := pc.WriteMsg(protocol.MsgHello, protocol.EncodeHello(uint64(s+1))); err != nil {
+				errCh <- err
+				return
+			}
+			typ, _, err := pc.ReadMsg()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if typ != protocol.MsgHelloOK {
+				errCh <- fmt.Errorf("bench mux session %d: hello reply %d", s, typ)
+				return
+			}
+			conns[s] = pc
+			errCh <- nil
+		}(s)
+	}
+	wg.Wait()
+	setup := time.Since(start)
+	for i := 0; i < sessions; i++ {
+		if err := <-errCh; err != nil {
+			return MuxSessionRow{}, err
+		}
+	}
+	defer func() {
+		for _, pc := range conns {
+			if pc != nil {
+				pc.Close()
+			}
+		}
+	}()
+
+	// Phase 2 — steady state: the query+put rounds of every session.
+	putStart := time.Now()
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errCh <- runMuxBenchPuts(conns[s], s, sharesPerSession, shareSize)
+		}(s)
+	}
+	wg.Wait()
+	put := time.Since(putStart)
+	for i := 0; i < sessions; i++ {
+		if err := <-errCh; err != nil {
+			return MuxSessionRow{}, err
+		}
+	}
+
+	// Phase 3 — retire: every session ends the way a well-behaved client
+	// does (client.Close sends Bye), and the phase is over when the
+	// serving side has actually finished with the session — observed as
+	// EOF on the session's transport after Bye.
+	retireStart := time.Now()
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			pc := conns[s]
+			if err := pc.WriteMsg(protocol.MsgBye, nil); err != nil {
+				errCh <- err
+				return
+			}
+			for {
+				if _, _, err := pc.ReadMsg(); err != nil {
+					errCh <- nil // EOF (or close) = session fully retired
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	retire := time.Since(retireStart)
+	for i := 0; i < sessions; i++ {
+		if err := <-errCh; err != nil {
+			return MuxSessionRow{}, err
+		}
+	}
+
+	total := sessions * sharesPerSession
+	elapsed := setup + put + retire
+	return MuxSessionRow{
+		Sessions:          sessions,
+		Mode:              mode,
+		UpstreamConns:     gatewayConns,
+		Shares:            total,
+		Setup:             setup,
+		Put:               put,
+		Retire:            retire,
+		Elapsed:           elapsed,
+		SetupPerSessionUS: float64(setup.Microseconds()) / float64(sessions),
+		SharesPerSec:      float64(total) / elapsed.Seconds(),
+		MBps:              float64(total) * float64(shareSize) / (1 << 20) / elapsed.Seconds(),
+	}, nil
+}
+
+// runMuxBenchPuts drives one connected session's query+put rounds
+// (the steady-state half of runUploadSession).
+func runMuxBenchPuts(pc *protocol.Conn, sessionID, sharesPerSession, shareSize int) error {
+	const batchShares = 64
+	call := func(reqType byte, payload []byte, wantType byte) error {
+		if err := pc.WriteMsg(reqType, payload); err != nil {
+			return err
+		}
+		typ, reply, err := pc.ReadMsg()
+		if err != nil {
+			return err
+		}
+		if typ != wantType {
+			return fmt.Errorf("bench mux session %d: reply type %d (%s), want %d", sessionID, typ, reply, wantType)
+		}
+		return nil
+	}
+	buf := make([]byte, shareSize)
+	for done := 0; done < sharesPerSession; {
+		n := batchShares
+		if sharesPerSession-done < n {
+			n = sharesPerSession - done
+		}
+		fps := make([]metadata.Fingerprint, n)
+		batch := make([]protocol.ShareUpload, n)
+		for i := 0; i < n; i++ {
+			// Offset the generator's session axis so this benchmark's
+			// shares never collide with anything else in the process.
+			sessionShare(buf, sessionID+1<<20, done+i)
+			data := append([]byte(nil), buf...)
+			fps[i] = metadata.FingerprintOf(data)
+			batch[i] = protocol.ShareUpload{
+				SecretSeq:  uint64(done + i),
+				SecretSize: uint32(shareSize),
+				Data:       data,
+			}
+		}
+		if err := call(protocol.MsgQuery, protocol.EncodeFingerprints(fps), protocol.MsgQueryResult); err != nil {
+			return err
+		}
+		if err := call(protocol.MsgPutShares, protocol.EncodeShareBatch(batch), protocol.MsgPutOK); err != nil {
+			return err
+		}
+		done += n
+	}
+	return nil
+}
+
+// GatewayMuxSweep runs direct vs gateway legs for every session count,
+// holding total volume roughly constant (the HighSessionSweep sizing),
+// with the direct row first for each count.
+func GatewayMuxSweep(counts []int, totalShares, shareSize, gatewayConns int) ([]MuxSessionRow, error) {
+	if len(counts) == 0 {
+		counts = []int{64, 1024}
+	}
+	if gatewayConns <= 0 {
+		gatewayConns = 4
+	}
+	var rows []MuxSessionRow
+	for _, m := range counts {
+		per := totalShares / m
+		if per < 4 {
+			per = 4
+		}
+		for _, conns := range []int{0, gatewayConns} {
+			row, err := GatewaySessionCompare(m, per, shareSize, conns)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"testing"
+
+	"cdstore/internal/race"
+)
+
+func TestGatewaySessionCompareSmoke(t *testing.T) {
+	for _, conns := range []int{0, 2} {
+		row, err := GatewaySessionCompare(4, 32, 512, conns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.Shares != 4*32 {
+			t.Fatalf("pushed %d shares, want %d", row.Shares, 4*32)
+		}
+		if row.SharesPerSec <= 0 || row.Setup <= 0 || row.Put <= 0 || row.Retire <= 0 {
+			t.Fatalf("degenerate row: %+v", row)
+		}
+		want := "direct"
+		if conns > 0 {
+			want = "gateway"
+		}
+		if row.Mode != want {
+			t.Fatalf("mode %q, want %q", row.Mode, want)
+		}
+	}
+}
+
+// TestGatewayMuxSpeedup is the PR's acceptance claim: 1024 logical put
+// sessions funneled through a gateway's pooled mux connections must
+// deliver at least 2x the lifecycle throughput of 1024 direct
+// connections on the same box. The win is structural, on the session's
+// fixed costs: the direct leg pays per session for server connection
+// state (2 x 256KB bufio rings, a reader goroutine) and — dominating at
+// this count — a server-wide durability flush on every clean Bye, while
+// the gateway leg pays those per POOLED connection and retires each
+// logical session as a virtual stream (batches stay WAL-group-committed
+// either way).
+func TestGatewayMuxSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second measurement")
+	}
+	if race.Enabled {
+		// Race instrumentation multiplies the per-message CPU cost and
+		// serializes goroutine scheduling, drowning the per-session setup
+		// cost this benchmark isolates. CI asserts the ratio in a
+		// dedicated non-race step.
+		t.Skip("timing assertion is not meaningful under -race")
+	}
+	const sessions = 1024
+	direct, err := GatewaySessionCompare(sessions, 8, 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := GatewaySessionCompare(sessions, 8, 1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := gw.SharesPerSec / direct.SharesPerSec
+	t.Logf("direct:  setup %v (%.0fus/session), put %v, retire %v, %.0f shares/s",
+		direct.Setup, direct.SetupPerSessionUS, direct.Put, direct.Retire, direct.SharesPerSec)
+	t.Logf("gateway: setup %v (%.0fus/session), put %v, retire %v, %.0f shares/s",
+		gw.Setup, gw.SetupPerSessionUS, gw.Put, gw.Retire, gw.SharesPerSec)
+	t.Logf("speedup %.2fx", speedup)
+	if speedup < 2.0 {
+		t.Fatalf("gateway only %.2fx over 1024 direct connections, want >= 2x", speedup)
+	}
+}

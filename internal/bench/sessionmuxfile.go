@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SessionsMuxSchemaVersion is bumped on any incompatible change to the
+// BENCH_sessions_mux layout; AppendSessionsMuxPoint refuses to extend a
+// file written under a different version (the schema-drift tripwire all
+// trajectories share).
+const SessionsMuxSchemaVersion = 1
+
+// SessionsMuxBenchFile is the repo-root trajectory of the gateway/mux
+// session benchmark: each `cdbench sessions` run appends one point, so
+// the series records how the pooled-connection tier's amortization
+// moves across PRs.
+const SessionsMuxBenchFile = "BENCH_sessions_mux.json"
+
+// SessionsMuxFile is the on-disk trajectory.
+type SessionsMuxFile struct {
+	SchemaVersion int                `json:"schema_version"`
+	Benchmark     string             `json:"benchmark"`
+	Points        []SessionsMuxPoint `json:"points"`
+}
+
+// SessionsMuxPoint is one full run of the gateway/mux comparison.
+type SessionsMuxPoint struct {
+	// RecordedAt is the RFC3339 run timestamp.
+	RecordedAt string `json:"recorded_at"`
+	// Quick marks smoke-sized runs; compare quick against quick only.
+	Quick bool `json:"quick"`
+	// ShareSize is the per-share payload size in bytes.
+	ShareSize int `json:"share_size"`
+	// GatewayConns is the pooled upstream connection count of the
+	// gateway rows.
+	GatewayConns int `json:"gateway_conns"`
+	// Rows holds every measured (sessions, mode) cell, direct first.
+	Rows []SessionsMuxRowPoint `json:"rows"`
+	// GatewaySpeedupAtMax is gateway/direct SharesPerSec at the highest
+	// session count — the PR's acceptance headline (>= 2 at 1024
+	// sessions at full sizing).
+	GatewaySpeedupAtMax float64 `json:"gateway_speedup_at_max"`
+	// SetupAmortization is direct/gateway per-session setup cost at the
+	// highest session count: how many times cheaper a logical session's
+	// fixed cost becomes behind the gateway.
+	SetupAmortization float64 `json:"setup_amortization"`
+}
+
+// SessionsMuxRowPoint is the JSON form of one MuxSessionRow, with the
+// per-session setup cost carried separately from steady-state
+// throughput.
+type SessionsMuxRowPoint struct {
+	Sessions          int     `json:"sessions"`
+	Mode              string  `json:"mode"`
+	UpstreamConns     int     `json:"upstream_conns"`
+	Shares            int     `json:"shares"`
+	SetupMS           float64 `json:"setup_ms"`
+	PutMS             float64 `json:"put_ms"`
+	RetireMS          float64 `json:"retire_ms"`
+	ElapsedMS         float64 `json:"elapsed_ms"`
+	SetupPerSessionUS float64 `json:"setup_per_session_us"`
+	SharesPerSec      float64 `json:"shares_per_sec"`
+	MBps              float64 `json:"mbps"`
+}
+
+// MuxRowPoint converts a measured MuxSessionRow for trajectory storage.
+func MuxRowPoint(r MuxSessionRow) SessionsMuxRowPoint {
+	return SessionsMuxRowPoint{
+		Sessions:          r.Sessions,
+		Mode:              r.Mode,
+		UpstreamConns:     r.UpstreamConns,
+		Shares:            r.Shares,
+		SetupMS:           float64(r.Setup.Microseconds()) / 1000,
+		PutMS:             float64(r.Put.Microseconds()) / 1000,
+		RetireMS:          float64(r.Retire.Microseconds()) / 1000,
+		ElapsedMS:         float64(r.Elapsed.Microseconds()) / 1000,
+		SetupPerSessionUS: r.SetupPerSessionUS,
+		SharesPerSec:      r.SharesPerSec,
+		MBps:              r.MBps,
+	}
+}
+
+// MuxDerived computes the point's derived ratios from its rows: the
+// gateway/direct throughput speedup and the per-session setup
+// amortization, both at the highest measured session count.
+func MuxDerived(rows []MuxSessionRow) (speedup, amortization float64) {
+	var direct, gw *MuxSessionRow
+	for i := range rows {
+		r := &rows[i]
+		switch r.Mode {
+		case "direct":
+			if direct == nil || r.Sessions >= direct.Sessions {
+				direct = r
+			}
+		case "gateway":
+			if gw == nil || r.Sessions >= gw.Sessions {
+				gw = r
+			}
+		}
+	}
+	if direct == nil || gw == nil || direct.Sessions != gw.Sessions {
+		return 0, 0
+	}
+	if direct.SharesPerSec > 0 {
+		speedup = gw.SharesPerSec / direct.SharesPerSec
+	}
+	if gw.SetupPerSessionUS > 0 {
+		amortization = direct.SetupPerSessionUS / gw.SetupPerSessionUS
+	}
+	return speedup, amortization
+}
+
+// LoadSessionsMuxFile reads a trajectory file. A missing file returns
+// (nil, nil): no history yet.
+func LoadSessionsMuxFile(path string) (*SessionsMuxFile, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f SessionsMuxFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// AppendSessionsMuxPoint loads the mux trajectory in dir (creating it on
+// first run), verifies the schema version, appends p, and writes the
+// file back atomically.
+func AppendSessionsMuxPoint(dir string, p SessionsMuxPoint) (string, error) {
+	path := filepath.Join(dir, SessionsMuxBenchFile)
+	f, err := LoadSessionsMuxFile(path)
+	if err != nil {
+		return "", err
+	}
+	if f == nil {
+		f = &SessionsMuxFile{SchemaVersion: SessionsMuxSchemaVersion, Benchmark: "sessions_mux"}
+	}
+	if f.SchemaVersion != SessionsMuxSchemaVersion {
+		return "", fmt.Errorf("bench: %s has schema version %d, this build writes %d — migrate or reset the trajectory",
+			path, f.SchemaVersion, SessionsMuxSchemaVersion)
+	}
+	if f.Benchmark != "sessions_mux" {
+		return "", fmt.Errorf("bench: %s names benchmark %q, not %q", path, f.Benchmark, "sessions_mux")
+	}
+	f.Points = append(f.Points, p)
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	raw = append(raw, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return "", err
+	}
+	return path, os.Rename(tmp, path)
+}
+
+// Validate checks a mux trajectory's internal consistency.
+func (f *SessionsMuxFile) Validate() error {
+	if f.SchemaVersion != SessionsMuxSchemaVersion {
+		return fmt.Errorf("schema version %d, want %d", f.SchemaVersion, SessionsMuxSchemaVersion)
+	}
+	if f.Benchmark != "sessions_mux" {
+		return fmt.Errorf("benchmark %q, want sessions_mux", f.Benchmark)
+	}
+	if len(f.Points) == 0 {
+		return fmt.Errorf("no points")
+	}
+	for i, p := range f.Points {
+		if p.RecordedAt == "" {
+			return fmt.Errorf("point %d: no timestamp", i)
+		}
+		if p.ShareSize <= 0 || p.GatewayConns <= 0 || len(p.Rows) == 0 {
+			return fmt.Errorf("point %d: degenerate sizing", i)
+		}
+		for j, r := range p.Rows {
+			if r.Sessions <= 0 || r.Shares <= 0 || r.SharesPerSec <= 0 || r.MBps <= 0 {
+				return fmt.Errorf("point %d row %d: non-positive measurement %+v", i, j, r)
+			}
+			switch r.Mode {
+			case "direct":
+				if r.UpstreamConns != 0 {
+					return fmt.Errorf("point %d row %d: direct row with upstream conns", i, j)
+				}
+			case "gateway":
+				if r.UpstreamConns <= 0 {
+					return fmt.Errorf("point %d row %d: gateway row without upstream conns", i, j)
+				}
+			default:
+				return fmt.Errorf("point %d row %d: unknown mode %q", i, j, r.Mode)
+			}
+			if r.SetupMS < 0 || r.PutMS < 0 || r.RetireMS < 0 || r.SetupPerSessionUS < 0 {
+				return fmt.Errorf("point %d row %d: negative phase timing %+v", i, j, r)
+			}
+		}
+		if p.GatewaySpeedupAtMax <= 0 || p.SetupAmortization <= 0 {
+			return fmt.Errorf("point %d: missing derived ratios (speedup %v, amortization %v)",
+				i, p.GatewaySpeedupAtMax, p.SetupAmortization)
+		}
+	}
+	return nil
+}

@@ -35,7 +35,7 @@ type secretSink func(seq uint64, secret []byte) error
 // restoreEngine is the streaming read path shared by Restore and Repair
 // (the decode mirror of BackupStream's pipeline):
 //
-//	fetcher ──jobs──▸ decode workers ──results──▸ in-order writer ──▸ sink
+//	fetcher ──jobs──▸ decode workers ──reorder ring──▸ in-order writer ──▸ sink
 //
 // One fetcher goroutine walks the recipe in windows, downloading each
 // window's *distinct* share fingerprints from the k primary clouds in
@@ -269,11 +269,19 @@ func (e *restoreEngine) run(sink secretSink) error {
 	}
 	threads := e.c.opts.EncodeThreads
 	jobs := make(chan decodeJob, e.window)
-	results := make(chan decodedSecret, e.window)
+	// Producer lead over the writer is bounded by the jobs channel (one
+	// window) plus one in-flight job per worker; one spare slot keeps a
+	// lapping producer from ever blocking on the writer's current slot.
+	ring := newReorderRing(e.window + threads + 1)
 	errCh := make(chan error, threads+2)
 	done := make(chan struct{})
 	var closeOnce sync.Once
-	cancel := func() { closeOnce.Do(func() { close(done) }) }
+	cancel := func() {
+		closeOnce.Do(func() {
+			close(done)
+			ring.abort()
+		})
+	}
 	defer cancel()
 
 	// Fetcher: walks the recipe in windows, prefetching ahead of decode.
@@ -341,43 +349,31 @@ func (e *restoreEngine) run(sink secretSink) error {
 					cancel()
 					return
 				}
-				select {
-				case results <- decodedSecret{pos: job.pos, seq: job.seq, data: secret, retried: retried}:
-				case <-done:
-					return
+				if !ring.put(decodedSecret{pos: job.pos, seq: job.seq, data: secret, retried: retried}) {
+					return // pipeline unwinding; result abandoned
 				}
 			}
 		}()
 	}
 
-	// In-order writer (this goroutine): reorder by position, deliver,
-	// recycle.
-	pending := make(map[uint64]decodedSecret, e.window)
-	next := uint64(0)
-	for next < e.count {
-		select {
-		case err := <-errCh:
-			return err
-		case d := <-results:
-			pending[d.pos] = d
-			for {
-				dn, ok := pending[next]
-				if !ok {
-					break
-				}
-				delete(pending, next)
-				if dn.retried {
-					e.subsetRetries.Add(1)
-				}
-				if err := sink(dn.seq, dn.data); err != nil {
-					return err
-				}
-				e.written += int64(len(dn.data))
-				e.secrets++
-				e.secretPool.Put(dn.data)
-				next++
-			}
+	// In-order writer (this goroutine): walk the ring in sequence,
+	// deliver, recycle. A failed take means a fetcher or worker aborted
+	// the pipeline after parking its error — which is therefore already
+	// waiting in errCh.
+	for next := uint64(0); next < e.count; next++ {
+		d, ok := ring.take(next)
+		if !ok {
+			return <-errCh
 		}
+		if d.retried {
+			e.subsetRetries.Add(1)
+		}
+		if err := sink(d.seq, d.data); err != nil {
+			return err
+		}
+		e.written += int64(len(d.data))
+		e.secrets++
+		e.secretPool.Put(d.data)
 	}
 	return nil
 }

@@ -1,0 +1,89 @@
+package client
+
+import (
+	"errors"
+	"sync"
+)
+
+// Pool recycles connected, authenticated Clients across logical
+// Backup/Restore sessions: a Get after a Put hands back a Client whose
+// n cloud connections and Hello handshakes are already paid for, so a
+// workload of many short sessions (the paper's multi-user shape) skips
+// per-session TCP + Hello entirely. It composes with the gateway tier —
+// pool on the client side, multiplex on the server side — or stands
+// alone against direct server connections.
+//
+// Put is for healthy clients only: a session that ends in a transport
+// error should Close its Client instead, and the next Get dials fresh.
+type Pool struct {
+	opts    Options
+	dialers []Dialer
+	maxIdle int
+
+	mu     sync.Mutex
+	idle   []*Client
+	closed bool
+}
+
+// NewPool builds a pool that connects with opts/dialers on demand and
+// keeps up to maxIdle clients warm (default 8).
+func NewPool(opts Options, dialers []Dialer, maxIdle int) *Pool {
+	if maxIdle <= 0 {
+		maxIdle = 8
+	}
+	return &Pool{opts: opts, dialers: dialers, maxIdle: maxIdle}
+}
+
+// Get returns a warm client if one is idle, else dials a new one.
+func (p *Pool) Get() (*Client, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errors.New("client: pool closed")
+	}
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	return Connect(p.opts, p.dialers)
+}
+
+// Put returns a client to the pool for reuse. Beyond maxIdle (or after
+// Close) the client's sessions are ended instead.
+func (p *Pool) Put(c *Client) {
+	if c == nil {
+		return
+	}
+	p.mu.Lock()
+	if !p.closed && len(p.idle) < p.maxIdle {
+		p.idle = append(p.idle, c)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	c.Close()
+}
+
+// Close ends every idle client's sessions; clients currently checked
+// out are their holders' to close.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	var firstErr error
+	for _, c := range idle {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,91 @@
+package client
+
+import (
+	"bytes"
+	"net"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolReusesConnections proves the amortization contract: the
+// second logical session from a pool performs ZERO dials and zero
+// Hellos — it rides the first session's connections.
+func TestPoolReusesConnections(t *testing.T) {
+	inner := pipeDialers(t, 4, 3)
+	var dials atomic.Int64
+	counted := make([]Dialer, len(inner))
+	for i := range inner {
+		d := inner[i]
+		counted[i] = func() (net.Conn, error) {
+			dials.Add(1)
+			return d()
+		}
+	}
+	p := NewPool(Options{UserID: 1, N: 4, K: 3, EncodeThreads: 2}, counted, 4)
+	defer p.Close()
+
+	c1, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := dials.Load()
+	if first != 4 {
+		t.Fatalf("first Get dialed %d times, want 4", first)
+	}
+	data := bytes.Repeat([]byte("pooled session "), 10000)
+	if _, err := c1.Backup("/pooled.tar", bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c1)
+
+	// Second logical session: same client back, no new dials, and it
+	// still works end to end.
+	c2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c1 {
+		t.Fatal("pool dialed a fresh client while one was idle")
+	}
+	if got := dials.Load(); got != first {
+		t.Fatalf("second Get dialed %d more times, want 0", got-first)
+	}
+	var out bytes.Buffer
+	if _, err := c2.Restore("/pooled.tar", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("restore through pooled client corrupted data")
+	}
+	p.Put(c2)
+}
+
+func TestPoolMaxIdleAndClose(t *testing.T) {
+	dialers := pipeDialers(t, 4, 3)
+	p := NewPool(Options{UserID: 1, N: 4, K: 3}, dialers, 1)
+	c1, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c1)
+	p.Put(c2) // over maxIdle: closed, not retained
+	c3, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 != c1 {
+		t.Fatal("expected the one retained idle client back")
+	}
+	p.Put(c3)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(); err == nil {
+		t.Fatal("Get after Close succeeded")
+	}
+	p.Put(nil) // must not panic
+}

@@ -1,0 +1,321 @@
+package gateway_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cdstore/internal/client"
+	"cdstore/internal/gateway"
+	"cdstore/internal/protocol"
+	"cdstore/internal/server"
+	"cdstore/internal/storage"
+)
+
+// testServer builds one in-process cloud server.
+func testServer(t *testing.T, i, n, k int) *server.Server {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		CloudIndex: i, N: n, K: k,
+		IndexDir: t.TempDir(),
+		Backend:  storage.NewMemory(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// testGateway fronts one server with a gateway whose upstream pool runs
+// over net.Pipe.
+func testGateway(t *testing.T, srv *server.Server, conns int) *gateway.Gateway {
+	t.Helper()
+	gw, err := gateway.New(gateway.Config{
+		Dial: func() (net.Conn, error) {
+			a, b := net.Pipe()
+			go srv.ServeConn(a)
+			return b, nil
+		},
+		UpstreamConns: conns,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gw.Close() })
+	return gw
+}
+
+// gatewayDialer gives a client a downstream connection into gw.
+func gatewayDialer(gw *gateway.Gateway) client.Dialer {
+	return func() (net.Conn, error) {
+		a, b := net.Pipe()
+		go gw.ServeDownstream(a)
+		return b, nil
+	}
+}
+
+// TestBackupRestoreThroughGateway runs the full client workflow —
+// backup, list, restore, delete — against a 4-cloud deployment fronted
+// entirely by gateways. The relay must be protocol-transparent: the
+// client code path is identical to dialing servers directly.
+func TestBackupRestoreThroughGateway(t *testing.T) {
+	const n, k = 4, 3
+	dialers := make([]client.Dialer, n)
+	gws := make([]*gateway.Gateway, n)
+	for i := 0; i < n; i++ {
+		srv := testServer(t, i, n, k)
+		gws[i] = testGateway(t, srv, 2)
+		dialers[i] = gatewayDialer(gws[i])
+	}
+	c, err := client.Connect(client.Options{UserID: 1, N: n, K: k, EncodeThreads: 2}, dialers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	data := bytes.Repeat([]byte("through the gateway "), 20000) // ~400KB
+	if _, err := c.Backup("/gw.tar", bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	files, err := c.ListFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0].Path != "/gw.tar" {
+		t.Fatalf("listing through gateway: %+v", files)
+	}
+	var out bytes.Buffer
+	if _, err := c.Restore("/gw.tar", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("restore through gateway corrupted data")
+	}
+	if err := c.Delete("/gw.tar"); err != nil {
+		t.Fatal(err)
+	}
+	for i, gw := range gws {
+		st := gw.Stats()
+		if st.UpstreamDials > 2 {
+			t.Fatalf("gateway %d dialed upstream %d times, pool is 2", i, st.UpstreamDials)
+		}
+		if st.Sessions == 0 || st.Relayed == 0 {
+			t.Fatalf("gateway %d saw no traffic: %+v", i, st)
+		}
+	}
+}
+
+// TestManySessionsShareUpstreams is the amortization property itself:
+// many concurrent logical sessions, each doing the hello/put/bye dance,
+// must ride a two-connection upstream pool — sessions scale, upstream
+// dials do not.
+func TestManySessionsShareUpstreams(t *testing.T) {
+	const sessions = 64
+	srv := testServer(t, 0, 4, 3)
+	gw := testGateway(t, srv, 2)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			a, b := net.Pipe()
+			go gw.ServeDownstream(a)
+			pc := protocol.NewConn(b)
+			defer pc.Close()
+			exchange := func(typ byte, payload []byte, want byte) error {
+				if err := pc.WriteMsg(typ, payload); err != nil {
+					return err
+				}
+				rtyp, reply, err := pc.ReadMsg()
+				if err != nil {
+					return err
+				}
+				if rtyp != want {
+					return fmt.Errorf("session %d: reply %d (%s), want %d", s, rtyp, reply, want)
+				}
+				return nil
+			}
+			if err := exchange(protocol.MsgHello, protocol.EncodeHello(uint64(s%8)), protocol.MsgHelloOK); err != nil {
+				errs <- err
+				return
+			}
+			data := []byte(fmt.Sprintf("session %d share", s))
+			batch := protocol.EncodeShareBatch([]protocol.ShareUpload{
+				{SecretSeq: 0, SecretSize: uint32(len(data)), Data: data},
+			})
+			if err := exchange(protocol.MsgPutShares, batch, protocol.MsgPutOK); err != nil {
+				errs <- err
+				return
+			}
+			errs <- pc.WriteMsg(protocol.MsgBye, nil)
+		}(s)
+	}
+	wg.Wait()
+	for i := 0; i < sessions; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := gw.Stats()
+	if st.Sessions != sessions {
+		t.Fatalf("sessions %d, want %d", st.Sessions, sessions)
+	}
+	if st.UpstreamDials > 2 {
+		t.Fatalf("%d sessions forced %d upstream dials; pool is 2", sessions, st.UpstreamDials)
+	}
+	if got := srv.Stats().SharesStored; got != sessions {
+		t.Fatalf("server stored %d shares, want %d", got, sessions)
+	}
+}
+
+// TestUpstreamLossSurfacesAndRedials kills every pooled upstream
+// connection mid-deployment: the session that was riding one gets an
+// in-band error (its server-side state died with the connection), and
+// the next fresh session transparently triggers a redial and succeeds.
+func TestUpstreamLossSurfacesAndRedials(t *testing.T) {
+	srv := testServer(t, 0, 4, 3)
+	var mu sync.Mutex
+	var upstreams []net.Conn
+	gw, err := gateway.New(gateway.Config{
+		Dial: func() (net.Conn, error) {
+			a, b := net.Pipe()
+			go srv.ServeConn(a)
+			mu.Lock()
+			upstreams = append(upstreams, b)
+			mu.Unlock()
+			return b, nil
+		},
+		UpstreamConns: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	newSession := func() (net.Conn, *protocol.Conn) {
+		a, b := net.Pipe()
+		go gw.ServeDownstream(a)
+		b.SetDeadline(time.Now().Add(5 * time.Second))
+		return b, protocol.NewConn(b)
+	}
+	exchange := func(pc *protocol.Conn, typ byte, payload []byte) (byte, []byte, error) {
+		if err := pc.WriteMsg(typ, payload); err != nil {
+			return 0, nil, err
+		}
+		return pc.ReadMsg()
+	}
+
+	_, pc1 := newSession()
+	defer pc1.Close()
+	if rtyp, _, err := exchange(pc1, protocol.MsgHello, protocol.EncodeHello(1)); err != nil || rtyp != protocol.MsgHelloOK {
+		t.Fatalf("first session hello: %d %v", rtyp, err)
+	}
+
+	// Sever the pooled upstream connection under the live session.
+	mu.Lock()
+	for _, c := range upstreams {
+		c.Close()
+	}
+	severed := len(upstreams)
+	mu.Unlock()
+	if severed != 1 {
+		t.Fatalf("pool of 1 dialed %d times before failure", severed)
+	}
+
+	// The riding session must see the failure, not hang: either an
+	// in-band internal error or its downstream connection dropping.
+	rtyp, reply, err := exchange(pc1, protocol.MsgListFiles, nil)
+	if err == nil {
+		if rtyp != protocol.MsgError {
+			t.Fatalf("request on severed upstream got reply %d: %s", rtyp, reply)
+		}
+		re, derr := protocol.DecodeError(reply)
+		if derr != nil || re.Code != protocol.CodeInternal {
+			t.Fatalf("severed-upstream error: %+v %v", re, derr)
+		}
+	} else if errors.Is(err, protocol.ErrTooLarge) {
+		t.Fatalf("unexpected framing error: %v", err)
+	}
+
+	// A fresh session redials and works.
+	_, pc2 := newSession()
+	defer pc2.Close()
+	if rtyp, _, err := exchange(pc2, protocol.MsgHello, protocol.EncodeHello(2)); err != nil || rtyp != protocol.MsgHelloOK {
+		t.Fatalf("post-failure session hello: %d %v", rtyp, err)
+	}
+	if rtyp, _, err := exchange(pc2, protocol.MsgListFiles, nil); err != nil || rtyp != protocol.MsgFileList {
+		t.Fatalf("post-failure session list: %d %v", rtyp, err)
+	}
+	if dials := gw.Stats().UpstreamDials; dials != 2 {
+		t.Fatalf("dials %d, want 2 (original + one redial)", dials)
+	}
+}
+
+// TestUnreachableUpstreamReportsInBand: when no upstream can be dialed
+// at all, the downstream client gets a protocol-level error, not a
+// silent hang.
+func TestUnreachableUpstreamReportsInBand(t *testing.T) {
+	gw, err := gateway.New(gateway.Config{
+		Dial:          func() (net.Conn, error) { return nil, errors.New("cloud down") },
+		UpstreamConns: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	a, b := net.Pipe()
+	go gw.ServeDownstream(a)
+	b.SetDeadline(time.Now().Add(5 * time.Second))
+	pc := protocol.NewConn(b)
+	defer pc.Close()
+	if err := pc.WriteMsg(protocol.MsgHello, protocol.EncodeHello(1)); err != nil {
+		t.Fatal(err)
+	}
+	rtyp, reply, err := pc.ReadMsg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtyp != protocol.MsgError {
+		t.Fatalf("reply %d", rtyp)
+	}
+	re, derr := protocol.DecodeError(reply)
+	if derr != nil || re.Code != protocol.CodeInternal {
+		t.Fatalf("error: %+v %v", re, derr)
+	}
+}
+
+// TestGatewayServeAcceptLoop exercises the listener-based entry point
+// end to end over real TCP.
+func TestGatewayServeAcceptLoop(t *testing.T) {
+	srv := testServer(t, 0, 4, 3)
+	gw := testGateway(t, srv, 2)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go gw.Serve(ln)
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := protocol.NewConn(nc)
+	defer pc.Close()
+	if err := pc.WriteMsg(protocol.MsgHello, protocol.EncodeHello(7)); err != nil {
+		t.Fatal(err)
+	}
+	rtyp, _, err := pc.ReadMsg()
+	if err != nil || rtyp != protocol.MsgHelloOK {
+		t.Fatalf("hello over TCP through gateway: %d %v", rtyp, err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// muxFrame builds the raw wire bytes of one mux frame (test helper;
+// mirrors WriteMuxMsg without a Conn).
+func muxFrame(stream uint32, typ byte, payload []byte) []byte {
+	out := make([]byte, 0, 10+len(payload))
+	out = append(out, MsgMuxData)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)+MuxHeaderSize))
+	out = binary.BigEndian.AppendUint32(out, stream)
+	out = append(out, typ)
+	return append(out, payload...)
+}
+
+func TestMuxRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	payloads := []struct {
+		stream uint32
+		typ    byte
+		body   []byte
+	}{
+		{1, MsgHello, EncodeHello(42)},
+		{7, MsgPutShares, EncodeShareBatch(testBatch(3, 100))},
+		{1, MsgBye, nil},
+		{0xFFFFFFFF, MsgQuery, []byte{0, 0, 0, 0}},
+	}
+	for _, p := range payloads {
+		if err := c.WriteMuxMsg(p.stream, p.typ, p.body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := NewConn(&buf)
+	for i, p := range payloads {
+		typ, payload, err := rd.ReadMsg()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != MsgMuxData {
+			t.Fatalf("frame %d: outer type %d, want MsgMuxData", i, typ)
+		}
+		stream, ityp, inner, err := DecodeMuxHeader(payload)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if stream != p.stream || ityp != p.typ || !bytes.Equal(inner, p.body) {
+			t.Fatalf("frame %d: got (%d,%d,%x), want (%d,%d,%x)",
+				i, stream, ityp, inner, p.stream, p.typ, p.body)
+		}
+	}
+}
+
+func TestMuxHeaderErrors(t *testing.T) {
+	for _, short := range [][]byte{nil, {1}, {1, 2, 3, 4}} {
+		if _, _, _, err := DecodeMuxHeader(short); err == nil {
+			t.Errorf("short mux payload %x accepted", short)
+		}
+	}
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.WriteMuxMsg(1, MsgPutShares, make([]byte, MaxMessage)); err != ErrTooLarge {
+		t.Errorf("oversized mux payload: got %v, want ErrTooLarge", err)
+	}
+	// The inner payload must alias, not copy: mutating the outer payload
+	// shows through the inner slice.
+	p := muxFrame(3, MsgQuery, []byte{9, 9, 9, 9})[5:]
+	_, _, inner, err := DecodeMuxHeader(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p[len(p)-1] = 0xAA
+	if inner[len(inner)-1] != 0xAA {
+		t.Fatal("DecodeMuxHeader copied the inner payload; expected aliasing")
+	}
+	// ...and its capacity must be capped so appends cannot scribble into
+	// the frame beyond the message.
+	if cap(inner) != len(inner) {
+		t.Fatalf("inner capacity %d exceeds length %d", cap(inner), len(inner))
+	}
+}
+
+// TestMuxReadAllocFloor pins the steady-state allocation count of the
+// mux demux path — pooled frame read + mux header split + aliasing
+// batch decode — at zero, mirroring TestPutPathDecodeAllocFloor for the
+// multiplexed wire. This is the acceptance gate for the gateway tier:
+// funneling thousands of sessions through one connection must not
+// reintroduce per-message allocation.
+func TestMuxReadAllocFloor(t *testing.T) {
+	shares := testBatch(64, 1024)
+	framed := muxFrame(11, MsgPutShares, EncodeShareBatch(shares))
+	conn := NewConn(&repeatReader{data: framed})
+
+	frame := GetFrame()
+	defer PutFrame(frame)
+	var batch []ShareUpload
+	read := func() {
+		typ, p, err := conn.ReadMsgInto(frame)
+		if err != nil || typ != MsgMuxData {
+			t.Fatalf("read: %v %v", typ, err)
+		}
+		stream, ityp, inner, err := DecodeMuxHeader(p)
+		if err != nil || stream != 11 || ityp != MsgPutShares {
+			t.Fatalf("mux header: %d %d %v", stream, ityp, err)
+		}
+		batch, err = DecodeShareBatchInto(batch, inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) != 64 {
+			t.Fatalf("decoded %d shares", len(batch))
+		}
+	}
+	for i := 0; i < 3; i++ {
+		read() // warm up: grow frame and batch scratch
+	}
+	allocs := testing.AllocsPerRun(100, read)
+	if allocs > 0 {
+		t.Fatalf("steady-state mux read path allocates %.1f per message, want 0", allocs)
+	}
+}
+
+// FuzzMuxFrame feeds attacker bytes to the full mux read stack the
+// server runs per frame: outer framing, mux header split, and the inner
+// payload decoded as a share batch when it claims to be one. Nothing
+// may panic, accepted frames must round-trip through WriteMuxMsg, and
+// the aliasing invariants must hold whatever the input.
+func FuzzMuxFrame(f *testing.F) {
+	// Interleaved streams: two sessions' traffic alternating on one wire.
+	inter := append(muxFrame(1, MsgHello, EncodeHello(1)), muxFrame(2, MsgHello, EncodeHello(2))...)
+	inter = append(inter, muxFrame(1, MsgPutShares, EncodeShareBatch(testBatch(2, 64)))...)
+	inter = append(inter, muxFrame(2, MsgBye, nil)...)
+	f.Add(inter)
+	f.Add(muxFrame(0, MsgQuery, EncodeFingerprints(nil)))
+	f.Add(muxFrame(0xFFFFFFFF, 0xFF, []byte{1, 2, 3})) // unknown stream id + unknown inner type
+	// Truncations: a frame cut mid-header and mid-payload.
+	full := muxFrame(9, MsgPutShares, EncodeShareBatch(testBatch(1, 32)))
+	f.Add(full[:7])
+	f.Add(full[:len(full)-5])
+	// Lying outer length: claims more payload than follows.
+	lie := muxFrame(3, MsgHello, EncodeHello(7))
+	binary.BigEndian.PutUint32(lie[1:], 1<<20)
+	f.Add(lie)
+	// Outer frame too short to hold any mux header.
+	f.Add([]byte{MsgMuxData, 0, 0, 0, 2, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		conn := NewConn(struct {
+			io.Reader
+			io.Writer
+		}{bytes.NewReader(data), io.Discard})
+		frame := GetFrame()
+		defer PutFrame(frame)
+		var batch []ShareUpload
+		for {
+			typ, p, err := conn.ReadMsgInto(frame)
+			if err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF || err == ErrTooLarge {
+					return
+				}
+				t.Fatalf("unexpected read error class: %v", err)
+			}
+			if typ != MsgMuxData {
+				continue
+			}
+			stream, ityp, inner, err := DecodeMuxHeader(p)
+			if err != nil {
+				continue // malformed mux payload: rejected, never panics
+			}
+			if len(inner) != len(p)-MuxHeaderSize || cap(inner) != len(inner) {
+				t.Fatalf("inner slice bounds wrong: len %d cap %d from %d", len(inner), cap(inner), len(p))
+			}
+			// Accepted mux frames round-trip bit-exactly through the writer.
+			var buf bytes.Buffer
+			wc := NewConn(&buf)
+			if werr := wc.WriteMuxMsg(stream, ityp, inner); werr != nil {
+				t.Fatalf("round-trip write rejected accepted frame: %v", werr)
+			}
+			want := muxFrame(stream, ityp, inner)
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("round-trip mismatch:\n in  %x\n out %x", want, buf.Bytes())
+			}
+			// Inner payloads claiming to be share batches face the same
+			// decoder the server runs; it must never panic on them.
+			if ityp == MsgPutShares {
+				batch, _ = DecodeShareBatchInto(batch, inner)
+			}
+		}
+	})
+}

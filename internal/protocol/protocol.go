@@ -73,9 +73,19 @@ type Conn struct {
 
 // NewConn wraps a stream. If rw implements io.Closer, Close closes it.
 func NewConn(rw io.ReadWriter) *Conn {
+	return NewConnSize(rw, 256*1024)
+}
+
+// NewConnSize wraps a stream with bufSize-byte read and write buffers.
+// The buffer size caps syscall batching, not message size — a 4MB batch
+// still flows through an 8KB buffer. Connection-dense tiers (the
+// gateway's downstream side, benchmark harnesses simulating thousands
+// of clients) use small buffers so per-connection memory tracks the
+// connection's role instead of the default server sizing.
+func NewConnSize(rw io.ReadWriter, bufSize int) *Conn {
 	conn := &Conn{
-		br: bufio.NewReaderSize(rw, 256*1024),
-		bw: bufio.NewWriterSize(rw, 256*1024),
+		br: bufio.NewReaderSize(rw, bufSize),
+		bw: bufio.NewWriterSize(rw, bufSize),
 	}
 	if c, ok := rw.(io.Closer); ok {
 		conn.c = c

@@ -95,7 +95,7 @@ func (ss *session) handleScrubStatus() error {
 	if err != nil {
 		return err
 	}
-	return ss.conn.WriteMsg(protocol.MsgScrubReport, protocol.EncodeScrubReport(r))
+	return ss.send(protocol.MsgScrubReport, protocol.EncodeScrubReport(r))
 }
 
 // handleGetShareContainers maps fingerprints to the containers holding
@@ -123,7 +123,7 @@ func (ss *session) handleGetShareContainers(payload []byte) error {
 		}
 		names[i] = e.Container
 	}
-	return ss.conn.WriteMsg(protocol.MsgShareContainers, protocol.EncodeContainerNames(names))
+	return ss.send(protocol.MsgShareContainers, protocol.EncodeContainerNames(names))
 }
 
 func (ss *session) handleScrubControl(payload []byte) error {
@@ -145,5 +145,5 @@ func (ss *session) handleScrubControl(payload []byte) error {
 	default:
 		return badRequest("unknown scrub op %d", op)
 	}
-	return ss.conn.WriteMsg(protocol.MsgPutOK, protocol.EncodePutOK(1))
+	return ss.send(protocol.MsgPutOK, protocol.EncodePutOK(1))
 }
